@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables at a
+reduced scale (see DESIGN.md §3) and attaches the resulting series to
+``benchmark.extra_info`` so the numbers land in the pytest-benchmark
+JSON.  Figures are expensive, so every benchmark runs exactly one
+round/iteration via ``benchmark.pedantic``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — ``smoke`` (default, fast) | ``tiny`` | ``small``.
+* ``REPRO_BENCH_SEED`` — RNG seed (default 1).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def run_figure(benchmark, exp_id: str, scale: str, seed: int, **kwargs):
+    """Run one registered experiment exactly once under the benchmark clock."""
+    from repro.experiments import run_experiment
+    from repro.experiments.reporting import summarize_saturation
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(exp_id,),
+        kwargs=dict(scale=scale, seed=seed, **kwargs),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["scale"] = scale
+    if exp_id != "tab1":
+        benchmark.extra_info["saturation"] = summarize_saturation(result)
+    return result

@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the knobs around the contribution:
+
+* global-link arrangement (palm tree vs consecutive) under ADVG+h,
+* misrouting-trigger candidate sampling width,
+* the OFAR escape-ring baseline vs OLM under congestion (the §II
+  motivation for this paper),
+* credit-return delay sensitivity.
+"""
+
+import pytest
+
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator
+from repro.traffic.patterns import AdversarialGlobal, UniformRandom
+from repro.traffic.processes import BernoulliTraffic
+
+
+def measure(cfg: SimConfig, pattern, load: float, warmup=1200, window=1200) -> float:
+    sim = Simulator(cfg, BernoulliTraffic(pattern, load))
+    sim.run(warmup)
+    sim.stats.reset(sim.now)
+    sim.run(window)
+    return sim.stats.throughput(sim.topo.num_nodes, sim.now)
+
+
+def test_ablation_arrangement_advgh(benchmark):
+    """ADVG+h under both arrangements: the pathology is arrangement-dependent."""
+
+    def run():
+        out = {}
+        for arr in ("palmtree", "consecutive"):
+            cfg = SimConfig(h=2, routing="valiant", arrangement=arr, seed=5)
+            out[arr] = measure(cfg, AdversarialGlobal(2), 0.5)
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["throughput"] = result
+    assert all(v > 0 for v in result.values())
+
+
+@pytest.mark.parametrize("candidates", [1, 4, 8])
+def test_ablation_trigger_candidates(benchmark, candidates):
+    """Wider candidate sampling finds escape routes more often under ADVG."""
+    cfg = SimConfig(h=2, routing="olm", misroute_candidates=candidates, seed=5)
+    thr = benchmark.pedantic(
+        measure, args=(cfg, AdversarialGlobal(1), 0.5), rounds=1, iterations=1
+    )
+    benchmark.extra_info["throughput"] = thr
+    assert thr > 0.3
+
+
+def test_ablation_olm_vs_ofar_congested(benchmark):
+    """The paper's §II claim: escape-ring OFAR trails OLM under congestion."""
+
+    def run():
+        return {
+            routing: measure(SimConfig(h=2, routing=routing, seed=7),
+                             AdversarialGlobal(2), 0.8, warmup=2000, window=2000)
+            for routing in ("olm", "ofar")
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["throughput"] = result
+    assert result["olm"] >= 0.95 * result["ofar"]
+
+
+def test_ablation_arbitration_policy(benchmark):
+    """Round-robin vs random vs age-based output arbitration under UN."""
+
+    def run():
+        return {
+            policy: measure(
+                SimConfig(h=2, routing="olm", arbitration=policy, seed=5),
+                UniformRandom(), 0.6,
+            )
+            for policy in ("rr", "random", "age")
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["throughput"] = result
+    # the allocator policy is a second-order effect: all within 15%
+    lo, hi = min(result.values()), max(result.values())
+    assert lo > 0.85 * hi
+
+
+@pytest.mark.parametrize("global_latency", [50, 100, 200])
+def test_ablation_global_latency(benchmark, global_latency):
+    """Longer global wires need deeper buffers; throughput degrades gracefully."""
+    cfg = SimConfig(h=2, routing="rlm", global_latency=global_latency, seed=5)
+    thr = benchmark.pedantic(
+        measure, args=(cfg, UniformRandom(), 0.5), rounds=1, iterations=1
+    )
+    benchmark.extra_info["throughput"] = thr
+    assert thr > 0.25

@@ -1,0 +1,38 @@
+"""Engine micro-benchmarks: simulator cycles/second per configuration.
+
+Not a paper figure — these track the substrate's own performance so
+regressions in the hot loop are visible (guide: measure before
+optimizing).
+"""
+
+import pytest
+
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.processes import BernoulliTraffic
+
+
+@pytest.mark.parametrize("routing", ["minimal", "olm"])
+def test_engine_cycles_vct(benchmark, routing):
+    cfg = SimConfig(h=2, routing=routing, seed=1)
+    sim = Simulator(cfg, BernoulliTraffic(UniformRandom(), 0.5))
+    sim.run(500)  # warm the structures
+
+    benchmark.pedantic(sim.run, args=(500,), rounds=3, iterations=1)
+    benchmark.extra_info["delivered"] = sim.stats.delivered
+
+
+def test_engine_cycles_wh(benchmark):
+    cfg = SimConfig(h=2, routing="rlm", flow_control="wh",
+                    packet_phits=80, flit_phits=10, seed=1)
+    sim = Simulator(cfg, BernoulliTraffic(UniformRandom(), 0.25))
+    sim.run(500)
+    benchmark.pedantic(sim.run, args=(500,), rounds=3, iterations=1)
+
+
+def test_topology_construction_h8(benchmark):
+    from repro.topology import Dragonfly
+
+    topo = benchmark(Dragonfly, 8)
+    assert topo.num_routers == 2064

@@ -1,0 +1,27 @@
+"""Figures 10 & 11: the misrouting-threshold sweep for RLM under VCT.
+
+Paper: high thresholds win under ADVG+1 and lose under UN; 45% is the
+balanced compromise.
+"""
+
+from benchmarks.conftest import run_figure
+
+
+def _sat(series_points):
+    return max(p["throughput"] for p in series_points)
+
+
+def test_fig10_threshold_uniform(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "fig10", bench_scale, bench_seed)
+    sat = {name: _sat(pts) for name, pts in res["series"].items()}
+    # low thresholds must not lose to the most aggressive one under UN
+    assert sat["th=30%"] >= 0.95 * sat["th=60%"], sat
+
+
+def test_fig11_threshold_advg1(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "fig11", bench_scale, bench_seed)
+    sat = {name: _sat(pts) for name, pts in res["series"].items()}
+    # aggressive misrouting pays off under adversarial traffic
+    assert sat["th=60%"] >= 0.95 * sat["th=30%"], sat
+    # the paper's chosen 45% stays near the best of both worlds
+    assert sat["th=45%"] >= 0.9 * max(sat.values()), sat

@@ -1,0 +1,42 @@
+"""Figures 4 & 5: latency/throughput vs offered load under VCT.
+
+Each runner produces both the latency (Fig 4x) and throughput (Fig 5x)
+series of one traffic pattern; shape assertions encode the paper's
+qualitative claims.
+"""
+
+from benchmarks.conftest import run_figure
+
+
+def _series_sat(result, mech):
+    return max(p["throughput"] for p in result["series"][mech])
+
+
+def test_fig4a_fig5a_uniform_vct(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "fig5a", bench_scale, bench_seed)
+    # paper: the three misrouting mechanisms beat minimal, and all beat PB
+    sat = {m: _series_sat(res, m) for m in res["series"]}
+    assert sat["olm"] >= 0.95 * sat["minimal"]
+    assert sat["par62"] >= 0.95 * sat["pb"]
+    # adaptive mechanisms pay some latency for misrouting at low load
+    low = {m: res["series"][m][0]["mean_latency"] for m in res["series"]}
+    assert low["minimal"] <= min(low["par62"], low["olm"], low["rlm"]) * 1.25
+
+
+def test_fig4b_fig5b_advg1_vct(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "fig5b", bench_scale, bench_seed)
+    sat = {m: _series_sat(res, m) for m in res["series"]}
+    # in-transit adaptive >= PB and Valiant (paper Fig 5b)
+    for mech in ("par62", "olm", "rlm"):
+        assert sat[mech] >= 0.95 * sat["valiant"], sat
+        assert sat[mech] >= 0.95 * sat["pb"], sat
+
+
+def test_fig4c_fig5c_advgh_vct(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "fig5c", bench_scale, bench_seed)
+    sat = {m: _series_sat(res, m) for m in res["series"]}
+    # the pathological case: local misrouting is required; PAR/OLM/RLM must
+    # clearly beat Valiant and PB (paper: >2x at h=8)
+    for mech in ("par62", "olm", "rlm"):
+        assert sat[mech] > sat["valiant"], sat
+        assert sat[mech] > 0.95 * sat["pb"], sat

@@ -1,0 +1,36 @@
+"""Table I: parity-sign construction (also a micro-benchmark of the
+routing-table precomputation a router would run at boot)."""
+
+from repro.core.paritysign import (
+    allowed_intermediates,
+    build_allowed_table,
+    min_route_guarantee,
+)
+
+from benchmarks.conftest import run_figure
+
+
+def test_table1_regeneration(benchmark, bench_scale, bench_seed):
+    res = run_figure(benchmark, "tab1", bench_scale, bench_seed)
+    rows = res["series"]["parity-sign"]
+    assert len(rows) == 16
+    assert sum(r["allowed"] for r in rows) == 10
+
+
+def test_misrouting_table_precompute_h8(benchmark):
+    """Cost of computing every router's misroute table for the paper's a=16."""
+
+    def precompute():
+        allowed_intermediates.cache_clear()
+        build_allowed_table()
+        a = 16
+        total = 0
+        for i in range(a):
+            for j in range(a):
+                if i != j:
+                    total += len(allowed_intermediates(i, j, a))
+        return total
+
+    total = benchmark(precompute)
+    assert total > 0
+    assert min_route_guarantee(16) >= 7  # h-1 at h=8

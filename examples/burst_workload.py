@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Burst consumption: drain an all-at-once workload (Figures 6b/9b).
+
+Every node queues a burst of packets following the mixed
+ADVG+h/ADVL+1 pattern; we report how many cycles each mechanism needs
+to deliver everything.  This models the bursty phases of HPC codes
+(checkpointing, all-to-all transpositions) the paper motivates.
+Takes ~1 minute.
+"""
+
+from repro import SimConfig, build_simulator
+from repro.traffic import BurstTraffic, MixedGlobalLocal
+
+
+def drain_cycles(routing: str, p_global: float, packets: int = 60) -> int:
+    cfg = SimConfig(h=2, routing=routing, flow_control="vct", seed=5)
+    sim = build_simulator(cfg, BurstTraffic(MixedGlobalLocal(p_global, global_offset=2),
+                                            packets))
+    return sim.run_until_drained(max_cycles=2_000_000)
+
+
+def main() -> None:
+    mechs = ("pb", "rlm", "olm", "par62")
+    print(f"{'%global':>8} | " + " | ".join(f"{m:>8}" for m in mechs) + " |  best/pb")
+    print("-" * 60)
+    for pct in (0, 50, 100):
+        row = {m: drain_cycles(m, pct / 100.0) for m in mechs}
+        best = min(row[m] for m in mechs if m != "pb")
+        ratio = best / row["pb"]
+        print(f"{pct:>7}% | " + " | ".join(f"{row[m]:>8}" for m in mechs)
+              + f" | {100 * ratio:6.1f}%")
+    print("\nThe paper reports OLM draining in ~36% and RLM in ~42.5% of PB's time.")
+
+
+if __name__ == "__main__":
+    main()

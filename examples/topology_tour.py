@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Topology tour: geometry, port maps and the parity-sign table.
+
+No simulation — instant.  Useful to understand the id arithmetic before
+reading the router code, and to see Table I regenerated from the
+construction procedure in §III-B.
+"""
+
+from repro import Dragonfly, validate_topology
+from repro.core.paritysign import (
+    CANONICAL_ORDER,
+    TYPE_NAMES,
+    allowed_intermediates,
+    build_allowed_table,
+    min_route_guarantee,
+)
+
+
+def main() -> None:
+    for h in (2, 4, 8):
+        t = Dragonfly(h)
+        validate_topology(t)
+        print(f"h={h}: {t.num_groups} groups x {t.a} routers, "
+              f"{t.num_routers} routers, {t.num_nodes} nodes, radix {t.radix}")
+    print()
+
+    t = Dragonfly(4)  # the paper's Figure 2 example group size (2h = 8 routers)
+    print("example minimal path: router 0 -> router 100")
+    print(f"  groups: {t.group_of(0)} -> {t.group_of(100)}, "
+          f"hops: {t.minimal_hops(0, 100)}")
+    exit_idx, gport = t.exit_port(t.group_of(0), t.group_of(100))
+    print(f"  exit router index {exit_idx}, global port {gport}\n")
+
+    print("Table I (parity-sign 2-hop combinations), regenerated:")
+    table = build_allowed_table(CANONICAL_ORDER)
+    for t1 in range(4):
+        for t2 in range(4):
+            print(f"  {TYPE_NAMES[t1]:>6} {TYPE_NAMES[t2]:>6} : "
+                  f"{'Allowed' if table[t1][t2] else 'NOT allowed'}")
+    print()
+
+    a = 8  # routers per group at h=4
+    print(f"paper example (Fig 2): routes 5 -> 0 in a group of {a}:")
+    print(f"  allowed intermediates: {allowed_intermediates(5, 0, a)} "
+          f"(paper: 2, 4 and 6 — i.e. h-1 = 3 routes)")
+    print(f"  worst-case 2-hop routes over all pairs: {min_route_guarantee(a)} "
+          f"(>= h-1 = {a // 2 - 1})")
+
+
+if __name__ == "__main__":
+    main()

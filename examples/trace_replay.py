@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Trace-driven simulation: replay an application communication trace.
+
+Generates a synthetic two-phase trace (an all-to-all transposition
+burst followed by a neighbour-exchange phase), replays it under two
+routing mechanisms and reports completion times — the workflow for
+driving the simulator from real application traces.  Takes ~30s.
+"""
+
+import random
+
+from repro import SimConfig, build_simulator
+from repro.topology import Dragonfly
+from repro.traffic import TraceReplay
+
+
+def synthesize_trace(topo: Dragonfly, seed: int = 7):
+    """Phase 1: random permutation burst at t=0; phase 2: ADVL-style
+    neighbour exchange, one packet per node every 50 cycles."""
+    rng = random.Random(seed)
+    records = []
+    nodes = list(range(topo.num_nodes))
+    perm = nodes[:]
+    rng.shuffle(perm)
+    for src, dst in zip(nodes, perm):
+        if src != dst:
+            records.append((0, src, dst))
+    for round_idx in range(10):
+        t = 200 + 50 * round_idx
+        for src in nodes:
+            r = topo.router_of_node(src)
+            nbr = topo.router_id(topo.group_of(r), (topo.index_in_group(r) + 1) % topo.a)
+            records.append((t, src, topo.node_id(nbr, topo.node_index(src))))
+    return records
+
+
+def main() -> None:
+    topo = Dragonfly(2)
+    records = synthesize_trace(topo)
+    print(f"trace: {len(records)} packets over {topo.num_nodes} nodes\n")
+    for routing in ("minimal", "olm"):
+        cfg = SimConfig(h=2, routing=routing, seed=1)
+        sim = build_simulator(cfg, TraceReplay(records))
+        cycles = sim.run_until_drained(max_cycles=2_000_000)
+        s = sim.stats
+        print(f"{routing:8} completed in {cycles:6d} cycles | "
+              f"avg latency {s.mean_latency():7.1f} | max {s.latency_max:6d} | "
+              f"misrouted {100 * s.global_misroute_fraction():.0f}%")
+    print("\nAt this light per-phase load both finish with the last phase; "
+          "rerun with denser traces (more packets per record time) to see "
+          "adaptive routing pull ahead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Reproduction of "Efficient Routing Mechanisms for Dragonfly Networks"
+(García, Vallejo, Beivide, Odriozola, Valero — ICPP 2013).
+
+Public API quick tour::
+
+    from repro import SimConfig, build_simulator
+    from repro.traffic import BernoulliTraffic, UniformRandom
+
+    cfg = SimConfig(h=2, routing="olm", flow_control="vct")
+    sim = build_simulator(cfg, BernoulliTraffic(UniformRandom(), load=0.5))
+    sim.run(2000)                       # warm up
+    sim.stats.reset(sim.now)
+    sim.run(2000)                       # measure
+    print(sim.stats.mean_latency(), sim.stats.throughput(sim.topo.num_nodes, sim.now))
+
+Routing mechanisms: ``minimal``, ``valiant``, ``pb`` (Piggybacking),
+``par62`` (naïve PAR-6/2), ``rlm`` (Restricted Local Misrouting) and
+``olm`` (Opportunistic Local Misrouting).
+"""
+
+from repro.core import ROUTING_REGISTRY, MisroutingTrigger, routing_by_name
+from repro.network import (
+    DeadlockError,
+    SimConfig,
+    Simulator,
+    build_simulator,
+)
+from repro.topology import Dragonfly, validate_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "Simulator",
+    "build_simulator",
+    "DeadlockError",
+    "Dragonfly",
+    "validate_topology",
+    "ROUTING_REGISTRY",
+    "routing_by_name",
+    "MisroutingTrigger",
+    "__version__",
+]

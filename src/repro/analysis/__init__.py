@@ -1,0 +1,25 @@
+"""Analytical helpers: throughput bounds (§II) and CDG deadlock proofs (§III)."""
+
+from repro.analysis.bounds import (
+    advg_minimal_bound,
+    advg_valiant_local_bound,
+    advl_minimal_bound,
+    uniform_capacity,
+)
+from repro.analysis.cdg import (
+    build_cdg,
+    cycle_witness,
+    escape_reachable,
+    is_deadlock_free,
+)
+
+__all__ = [
+    "advg_minimal_bound",
+    "advg_valiant_local_bound",
+    "advl_minimal_bound",
+    "uniform_capacity",
+    "build_cdg",
+    "cycle_witness",
+    "escape_reachable",
+    "is_deadlock_free",
+]

@@ -1,0 +1,44 @@
+"""Theoretical throughput bounds quoted in the paper (§II).
+
+All values are in phits/(node·cycle) for the canonical well-balanced
+Dragonfly with ``p = h`` nodes per router.
+"""
+
+from __future__ import annotations
+
+
+def advg_minimal_bound(h: int) -> float:
+    """Minimal routing under ADVG: one global link carries a whole group.
+
+    A group injects ``2h·h`` phits/cycle toward a single global link of
+    capacity 1 phit/cycle → ``1 / (2h^2)``; the paper quotes the
+    per-node normalisation ``1/(2h^2+1)`` (group count), the same order.
+    """
+    return 1.0 / (2 * h * h + 1)
+
+
+def advl_minimal_bound(h: int) -> float:
+    """Minimal routing under ADVL: one local link carries a whole router.
+
+    ``h`` injectors share the single local link to the target router →
+    ``1/h``.
+    """
+    return 1.0 / h
+
+
+def advg_valiant_local_bound(h: int) -> float:
+    """Valiant under ADVG+h: pathological local saturation in the
+    intermediate group also caps throughput at ``1/h`` ([12])."""
+    return 1.0 / h
+
+
+def uniform_capacity(h: int) -> float:
+    """Ideal uniform-traffic capacity per node (global bisection limit).
+
+    Each node's traffic crosses a global link with probability
+    ``(g-1)/g ≈ 1``; a router has ``h`` injectors and ``h`` global
+    links, so the global network supports ≈1 phit/(node·cycle); real
+    routers saturate below that due to HOLB and finite buffering.
+    """
+    g = 2 * h * h + 1
+    return (g - 1) / g

@@ -1,0 +1,49 @@
+"""Routing mechanisms: the paper's contribution (PAR-6/2, RLM, OLM) and baselines."""
+
+from repro.core.base import AdaptiveRouting, Decision, RoutingAlgorithm
+from repro.core.minimal import MinimalRouting
+from repro.core.ofar import OfarRouting
+from repro.core.olm import OlmRouting
+from repro.core.par import Par62Routing
+from repro.core.piggyback import PiggybackingRouting
+from repro.core.rlm import RlmRouting
+from repro.core.trigger import MisroutingTrigger
+from repro.core.valiant import ValiantRouting
+
+#: registry of all routing mechanisms by CLI/config name
+ROUTING_REGISTRY: dict[str, type[RoutingAlgorithm]] = {
+    "minimal": MinimalRouting,
+    "valiant": ValiantRouting,
+    "pb": PiggybackingRouting,
+    "par62": Par62Routing,
+    "rlm": RlmRouting,
+    "olm": OlmRouting,
+    "ofar": OfarRouting,  # prior-work baseline ([12]), beyond the paper's figures
+}
+
+
+def routing_by_name(name: str) -> type[RoutingAlgorithm]:
+    """Look up a routing mechanism class by its registry name."""
+    try:
+        return ROUTING_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing {name!r}; known: {sorted(ROUTING_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "RoutingAlgorithm",
+    "AdaptiveRouting",
+    "Decision",
+    "MisroutingTrigger",
+    "MinimalRouting",
+    "ValiantRouting",
+    "PiggybackingRouting",
+    "Par62Routing",
+    "RlmRouting",
+    "OlmRouting",
+    "OfarRouting",
+    "ROUTING_REGISTRY",
+    "routing_by_name",
+]

@@ -1,0 +1,283 @@
+"""Routing framework: decisions, the adaptive skeleton, VC discipline.
+
+All six mechanisms (Minimal, Valiant, Piggybacking, PAR-6/2, RLM, OLM)
+are expressed against this interface.  A routing algorithm is consulted
+every cycle for the head packet of each input VC until the hop is
+granted — this is the paper's *on-the-fly* adaptivity: "the routing
+decision can be revisited on each hop".
+
+Virtual-channel indices are 0-based internally (``lVC1`` of the paper is
+local VC index 0).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.core.paritysign import link_type
+from repro.core.trigger import MisroutingTrigger
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.network
+    from repro.network.packet import Packet
+
+
+class Decision:
+    """A grantable hop proposed by a routing algorithm.
+
+    ``out`` is the router-local output index; ``vc`` the downstream VC.
+    The flags are applied to the packet when the head flit is granted.
+    """
+
+    __slots__ = ("out", "vc", "valiant_group", "is_local_misroute", "local_target")
+
+    def __init__(self, out: int, vc: int, *, valiant_group: int | None = None,
+                 is_local_misroute: bool = False, local_target: int | None = None) -> None:
+        self.out = out
+        self.vc = vc
+        self.valiant_group = valiant_group
+        self.is_local_misroute = is_local_misroute
+        #: index-in-group of the local hop target (for parity-sign bookkeeping)
+        self.local_target = local_target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Decision(out={self.out}, vc={self.vc}, misroute={self.is_local_misroute})"
+
+
+class RoutingAlgorithm(abc.ABC):
+    """Base class for Dragonfly routing mechanisms."""
+
+    name: str = "abstract"
+    #: VCs the mechanism needs per local port (3 for all but PAR-6/2's 6)
+    local_vcs = 3
+    #: VCs per global port
+    global_vcs = 2
+    #: True when the mechanism relies on whole-packet reservation (OLM)
+    requires_vct = False
+
+    def __init__(self, topo: Dragonfly, config, trigger: MisroutingTrigger, rng) -> None:
+        self.topo = topo
+        self.config = config
+        self.trigger = trigger
+        self.rng = rng
+
+    # ------------------------------------------------------------------ API
+    @abc.abstractmethod
+    def decide(self, router, packet: Packet, now: int, flit) -> Decision | None:
+        """Return a currently-grantable hop for ``packet`` at ``router``.
+
+        ``None`` means stall this cycle (the engine retries next cycle).
+        Availability (serialization, credits, WH ownership) must already
+        be verified for the returned decision.
+        """
+
+    def per_cycle(self, sim, now: int) -> None:
+        """Hook called once per cycle (used by Piggybacking broadcasts)."""
+
+    def on_hop(self, router, packet: Packet, decision: Decision) -> None:
+        """Apply packet-state updates when a head flit is granted.
+
+        The engine calls this exactly once per hop.  Subclasses may
+        extend; the shared bookkeeping lives here.
+        """
+        out = router.outputs[decision.out]
+        if out.kind == PortKind.GLOBAL:
+            packet.g_hops += 1
+            packet.local_hops_group = 0
+            packet.misrouted_group = False
+            packet.prev_local_type = None
+        elif out.kind == PortKind.LOCAL:
+            packet.local_hops_group += 1
+            packet.local_hops_total += 1
+            packet.last_local_vc = decision.vc
+            if decision.local_target is not None:
+                packet.prev_local_type = link_type(router.idx, decision.local_target)
+        if decision.valiant_group is not None:
+            packet.valiant_group = decision.valiant_group
+            packet.committed = True
+            packet.global_misrouted = True
+        if decision.is_local_misroute:
+            packet.misrouted_group = True
+            packet.local_misroutes += 1
+
+    # ------------------------------------------------------- shared helpers
+    def target_group(self, packet: Packet, cur_group: int) -> int:
+        """Current routing objective group (Valiant intermediate or destination)."""
+        if packet.valiant_group is not None and packet.g_hops == 0:
+            return packet.valiant_group
+        return packet.dst_group
+
+    def minimal_next(self, router, packet: Packet):
+        """The minimal hop at this router: ``(out_idx, kind, target)``.
+
+        ``kind`` is a :class:`PortKind`; ``target`` is the
+        index-in-group of the next router for LOCAL hops, the node
+        index for EJECT, and the global port for GLOBAL hops.
+        """
+        topo = self.topo
+        cur_group = router.group
+        tgt_group = self.target_group(packet, cur_group)
+        if cur_group == tgt_group:
+            dst_idx = topo.index_in_group(packet.dst_router)
+            if router.idx == dst_idx:
+                k = topo.node_index(packet.dst)
+                return router.out_eject(k), PortKind.EJECT, k
+            return (
+                router.out_local(topo.local_port_to(router.idx, dst_idx)),
+                PortKind.LOCAL,
+                dst_idx,
+            )
+        exit_idx, gport = topo.exit_port(cur_group, tgt_group)
+        if router.idx == exit_idx:
+            return router.out_global(gport), PortKind.GLOBAL, gport
+        return (
+            router.out_local(topo.local_port_to(router.idx, exit_idx)),
+            PortKind.LOCAL,
+            exit_idx,
+        )
+
+    # --- VC discipline shared by MIN / Valiant / PB / RLM minimal hops ----
+    def vc_minimal(self, packet: Packet, kind: PortKind) -> int:
+        """Ascending 3/2 VC map: hop after ``g`` global hops uses VC ``g``."""
+        if kind == PortKind.EJECT:
+            return 0
+        return packet.g_hops  # 0-based: lVC1/gVC1 == 0
+
+    def pick_valiant_group(self, packet: Packet, exclude_dst: bool = True) -> int:
+        """Random intermediate group != source (and destination) group."""
+        g = self.topo.num_groups
+        while True:
+            cand = self.rng.randrange(g)
+            if cand == packet.src_group:
+                continue
+            if exclude_dst and cand == packet.dst_group:
+                continue
+            return cand
+
+
+class AdaptiveRouting(RoutingAlgorithm):
+    """Skeleton shared by the in-transit adaptive mechanisms (PAR-6/2, RLM, OLM).
+
+    Per cycle: try the minimal output; if unavailable and the packet is
+    not committed, sample non-minimal candidates (global misrouting in
+    the source group, local misrouting elsewhere) through the
+    misrouting trigger.
+    """
+
+    #: maximum local hops inside the source group (minimal + divert)
+    MAX_SOURCE_LOCAL_HOPS = 2
+
+    # ---- hooks customised per mechanism -----------------------------------
+    def vc_local_minimal(self, packet: Packet) -> int:
+        return packet.g_hops
+
+    def vc_global(self, packet: Packet) -> int:
+        return packet.g_hops
+
+    def vc_local_misroute(self, packet: Packet) -> int | None:
+        """VC for a local misroute hop, or ``None`` when not permitted."""
+        return packet.g_hops
+
+    def local_misroute_valid(self, router, packet: Packet, via: int, target: int) -> bool:
+        """Mechanism-specific validity of the 2-hop route ``idx -> via -> target``."""
+        return True
+
+    def divert_valid(self, router, packet: Packet, via: int) -> bool:
+        """Validity of a source-group local hop toward a Valiant exit router."""
+        return True
+
+    # ---- skeleton ----------------------------------------------------------
+    def decide(self, router, packet: Packet, now: int, flit) -> Decision | None:
+        """Minimal first; blocked → trigger-gated global/local misrouting."""
+        out, kind, target = self.minimal_next(router, packet)
+        if kind == PortKind.EJECT:
+            vc = 0
+        elif kind == PortKind.GLOBAL:
+            vc = self.vc_global(packet)
+        else:
+            vc = self.vc_local_minimal(packet)
+        if router.can_accept(out, vc, flit, now):
+            if kind == PortKind.LOCAL:
+                return Decision(out, vc, local_target=target)
+            return Decision(out, vc)
+        if packet.committed and packet.g_hops == 0:
+            return None  # diverted toward a Valiant exit: no further freedom yet
+        min_occ = router.occupancy(out, vc) if kind != PortKind.EJECT else 0
+        if min_occ <= 0:
+            return None  # transient serialization block: wait
+        inter_group = packet.dst_group != packet.src_group
+        if packet.g_hops == 0 and packet.valiant_group is None:
+            if inter_group or self.config.allow_global_misroute_local_traffic:
+                d = self._try_global_misroute(router, packet, now, flit, min_occ)
+                if d is not None:
+                    return d
+        if kind == PortKind.LOCAL:
+            d = self._try_local_misroute(router, packet, now, flit, min_occ, target)
+            if d is not None:
+                return d
+        return None
+
+    # ---- global misrouting (source group only) ----------------------------
+    def _try_global_misroute(self, router, packet: Packet, now: int, flit,
+                             min_occ: int) -> Decision | None:
+        topo = self.topo
+        rng = self.rng
+        num_groups = topo.num_groups
+        exclude_dst = packet.dst_group != packet.src_group
+        # UGAL-style: a Valiant path is ~2x longer, so weigh its queues
+        weight = self.config.trigger_global_hop_weight
+        for _ in range(self.config.misroute_candidates):
+            tg = rng.randrange(num_groups)
+            if tg == packet.src_group or (exclude_dst and tg == packet.dst_group):
+                continue
+            exit_idx, gport = topo.exit_port(router.group, tg)
+            if exit_idx == router.idx:
+                out = router.out_global(gport)
+                vc = self.vc_global(packet)
+                if router.can_accept(out, vc, flit, now) and \
+                        self.trigger.allows(min_occ, weight * router.occupancy(out, vc)):
+                    return Decision(out, vc, valiant_group=tg)
+            else:
+                if packet.local_hops_group >= self.MAX_SOURCE_LOCAL_HOPS - 1:
+                    continue  # the divert local hop would exceed the l-l-g budget
+                if not self.divert_valid(router, packet, exit_idx):
+                    continue
+                out = router.out_local(topo.local_port_to(router.idx, exit_idx))
+                vc = self.vc_local_minimal(packet)
+                if router.can_accept(out, vc, flit, now) and \
+                        self.trigger.allows(min_occ, weight * router.occupancy(out, vc)):
+                    return Decision(out, vc, valiant_group=tg, local_target=exit_idx)
+        return None
+
+    # ---- local misrouting (one per visited group) --------------------------
+    def _local_misroute_permitted(self, packet: Packet) -> bool:
+        if packet.misrouted_group or packet.local_hops_group != 0:
+            return False
+        if packet.g_hops == 0:
+            # only intra-group traffic misroutes locally in the source group;
+            # inter-group packets use the divert path instead
+            return packet.dst_group == packet.src_group
+        return True
+
+    def _try_local_misroute(self, router, packet: Packet, now: int, flit,
+                            min_occ: int, minimal_target: int) -> Decision | None:
+        if not self._local_misroute_permitted(packet):
+            return None
+        vc = self.vc_local_misroute(packet)
+        if vc is None:
+            return None
+        topo = self.topo
+        rng = self.rng
+        a = topo.a
+        for _ in range(self.config.misroute_candidates):
+            k = rng.randrange(a)
+            if k == router.idx or k == minimal_target:
+                continue
+            if not self.local_misroute_valid(router, packet, k, minimal_target):
+                continue
+            out = router.out_local(topo.local_port_to(router.idx, k))
+            if router.can_accept(out, vc, flit, now) and \
+                    self.trigger.allows(min_occ, router.occupancy(out, vc)):
+                return Decision(out, vc, is_local_misroute=True, local_target=k)
+        return None

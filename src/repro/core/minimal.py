@@ -1,0 +1,28 @@
+"""Minimal routing: always the shortest path (at most l-g-l).
+
+VC usage ascends with the global-hop count (``lVC1-gVC1-lVC2``), which
+is Günther-style deadlock freedom for 3-hop paths; the baseline of the
+paper's uniform-traffic comparison.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Decision, RoutingAlgorithm
+from repro.topology.dragonfly import PortKind
+
+
+class MinimalRouting(RoutingAlgorithm):
+    """Deterministic minimal routing (no misrouting of any kind)."""
+
+    name = "minimal"
+    local_vcs = 3
+    global_vcs = 2
+
+    def decide(self, router, packet, now, flit):
+        out, kind, target = self.minimal_next(router, packet)
+        vc = self.vc_minimal(packet, kind)
+        if not router.can_accept(out, vc, flit, now):
+            return None
+        if kind == PortKind.LOCAL:
+            return Decision(out, vc, local_target=target)
+        return Decision(out, vc)

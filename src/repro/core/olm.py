@@ -1,0 +1,49 @@
+"""Opportunistic Local Misrouting (OLM, §III-C).
+
+OLM keeps PAR-6/2's routing freedom with only 3/2 VCs by letting cyclic
+dependencies *appear* while guaranteeing every packet a deadlock-free
+escape: the minimal/Valiant continuation in strictly ascending VC
+order.  A local misroute is taken **opportunistically** only when
+
+* the whole packet fits in the chosen neighbour's local VC (hence the
+  VCT requirement — the packet must never straddle routers), and
+* the VC used has an index **lower than or equal to** the packet's
+  current safe level, so the ascending escape sequence
+  ``lVC_{g+1} - gVC_{g+1} - ... - lVC3`` stays intact afterwards.
+
+Concretely (paper Fig. 3): after ``g`` global hops the escape local VC
+is ``lVC_{g+1}``; a local misroute may use ``lVC1`` in the source and
+intermediate supernodes and up to ``lVC2`` in the destination supernode
+of a Valiant path.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AdaptiveRouting
+
+
+class OlmRouting(AdaptiveRouting):
+    """OLM: escape-path-protected local misrouting, 3/2 VCs, VCT only."""
+
+    name = "olm"
+    local_vcs = 3
+    global_vcs = 2
+    requires_vct = True
+
+    def vc_local_minimal(self, packet) -> int:
+        # Intra-group traffic that already misrouted locally must ascend for
+        # its final hop (the escape is that hop itself).
+        if packet.g_hops == 0 and packet.misrouted_group:
+            return min(packet.last_local_vc + 1, self.local_vcs - 1)
+        return packet.g_hops
+
+    def vc_global(self, packet) -> int:
+        return packet.g_hops
+
+    def vc_local_misroute(self, packet) -> int:
+        # 0-based: lVC1 in source/intermediate groups, lVC_{g} afterwards —
+        # always strictly below the next escape local VC (g_hops), except in
+        # the source group where the escape continues over a *global* VC.
+        if packet.g_hops == 0:
+            return 0
+        return packet.g_hops - 1

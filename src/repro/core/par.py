@@ -1,0 +1,30 @@
+"""PAR-6/2: the naïve reference mechanism (§III-A).
+
+Progressive Adaptive Routing extended with one local misroute per
+intermediate/destination supernode.  Deadlock is avoided with Günther's
+distance classes: VCs are used in strictly ascending order along the
+longest 8-hop path ``l-l-g-l-l-g-l-l``, which costs **six** local VCs
+(``lVC1..lVC6``) and two global VCs.  Full routing freedom, maximum
+buffer cost — the paper uses it as an upper reference only.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AdaptiveRouting
+
+
+class Par62Routing(AdaptiveRouting):
+    """PAR with local misrouting, 6 local / 2 global VCs, WH- and VCT-safe."""
+
+    name = "par62"
+    local_vcs = 6
+    global_vcs = 2
+
+    def vc_local_minimal(self, packet) -> int:
+        return packet.local_hops_total  # strictly ascending local VC chain
+
+    def vc_local_misroute(self, packet) -> int:
+        return packet.local_hops_total
+
+    def vc_global(self, packet) -> int:
+        return packet.g_hops

@@ -1,0 +1,102 @@
+"""Parity-sign classification of local hops and the RLM restriction table.
+
+Inside a supernode the ``a = 2h`` routers form a complete graph.  A hop
+from router ``i`` to router ``j`` (indices in the group) is classified
+by *sign* (positive when ``i < j``) and *parity* (odd when ``i`` and
+``j`` have different parity, even otherwise), giving four link types.
+The paper's parity-sign technique (Table I) marks each ordered pair of
+types Allowed/Forbidden such that in any chain of allowed consecutive
+pairs the last link type never equals the first — which makes cyclic
+channel dependencies inside the group impossible, while still
+guaranteeing at least ``h - 1`` two-hop routes between every router
+pair (plus the minimal one-hop route: the ``h`` disjoint paths needed
+to drain a router's ``h`` injectors).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+# Link-type codes, in the construction order used by the paper's Table I.
+ODD_MINUS = 0
+EVEN_PLUS = 1
+ODD_PLUS = 2
+EVEN_MINUS = 3
+
+TYPE_NAMES = {ODD_MINUS: "odd-", EVEN_PLUS: "even+", ODD_PLUS: "odd+", EVEN_MINUS: "even-"}
+
+#: canonical construction order (paper: (1) odd-, (2) even+, (3) odd+, (4) even-)
+CANONICAL_ORDER = (ODD_MINUS, EVEN_PLUS, ODD_PLUS, EVEN_MINUS)
+
+
+def link_type(i: int, j: int) -> int:
+    """Parity-sign type of the local hop ``i -> j`` (group-local indices)."""
+    if i == j:
+        raise ValueError("no local hop from a router to itself")
+    positive = j > i
+    odd = (i ^ j) & 1 == 1  # different parity
+    if odd:
+        return ODD_PLUS if positive else ODD_MINUS
+    return EVEN_PLUS if positive else EVEN_MINUS
+
+
+def build_allowed_table(order: tuple[int, int, int, int] = CANONICAL_ORDER) -> list[list[bool]]:
+    """Build the 4x4 Allowed matrix with the paper's marking procedure.
+
+    1. pairs of identical types are Allowed;
+    2. for each type ``T`` in ``order``: blank pairs *starting* with
+       ``T`` become Allowed, then blank pairs *ending* with ``T``
+       become Forbidden.
+    """
+    if sorted(order) != [0, 1, 2, 3]:
+        raise ValueError("order must be a permutation of the four link types")
+    table: list[list[bool | None]] = [[None] * 4 for _ in range(4)]
+    for t in range(4):
+        table[t][t] = True
+    for t in order:
+        for u in range(4):
+            if table[t][u] is None:
+                table[t][u] = True
+        for u in range(4):
+            if table[u][t] is None:
+                table[u][t] = False
+    assert all(cell is not None for row in table for cell in row)
+    return [[bool(cell) for cell in row] for row in table]
+
+
+_ALLOWED = build_allowed_table()
+
+
+def pair_allowed(first_type: int, second_type: int) -> bool:
+    """Whether the 2-hop type combination is allowed by canonical Table I."""
+    return _ALLOWED[first_type][second_type]
+
+
+def hop_pair_allowed(i: int, k: int, j: int) -> bool:
+    """Whether the 2-hop local route ``i -> k -> j`` is allowed."""
+    return pair_allowed(link_type(i, k), link_type(k, j))
+
+
+@lru_cache(maxsize=None)
+def allowed_intermediates(i: int, j: int, a: int) -> tuple[int, ...]:
+    """All valid intermediate routers ``k`` for a 2-hop route ``i -> k -> j``.
+
+    Cached per ``(i, j, a)``; the paper notes this table can be
+    precomputed and stored per router.
+    """
+    if i == j:
+        raise ValueError("source equals destination")
+    return tuple(
+        k for k in range(a)
+        if k != i and k != j and hop_pair_allowed(i, k, j)
+    )
+
+
+def min_route_guarantee(a: int) -> int:
+    """Minimum number of allowed 2-hop routes over all pairs in a group of ``a``."""
+    return min(
+        len(allowed_intermediates(i, j, a))
+        for i in range(a)
+        for j in range(a)
+        if i != j
+    )

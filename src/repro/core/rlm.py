@@ -1,0 +1,40 @@
+"""Restricted Local Misrouting (RLM, §III-B).
+
+Both local hops inside a supernode share one VC (``lVC_{g+1}`` after
+``g`` global hops), so only 3/2 VCs are needed; cyclic dependencies
+inside the supernode are prevented by forbidding the parity-sign hop
+combinations of Table I (see :mod:`repro.core.paritysign`).  Because no
+cycle can form at all, RLM is safe under Wormhole as well as VCT.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import AdaptiveRouting
+from repro.core.paritysign import hop_pair_allowed, link_type, pair_allowed
+
+
+class RlmRouting(AdaptiveRouting):
+    """RLM: parity-sign-restricted local misrouting, 3/2 VCs, VCT or WH."""
+
+    name = "rlm"
+    local_vcs = 3
+    global_vcs = 2
+
+    def vc_local_minimal(self, packet) -> int:
+        return packet.g_hops
+
+    def vc_local_misroute(self, packet) -> int:
+        return packet.g_hops  # same VC as the minimal hop of this supernode
+
+    def vc_global(self, packet) -> int:
+        return packet.g_hops
+
+    def local_misroute_valid(self, router, packet, via: int, target: int) -> bool:
+        """A 2-hop route ``idx -> via -> target`` must be in Table I."""
+        return hop_pair_allowed(router.idx, via, target)
+
+    def divert_valid(self, router, packet, via: int) -> bool:
+        """A source-group divert forms a same-VC pair with the previous hop."""
+        if packet.prev_local_type is None:
+            return True
+        return pair_allowed(packet.prev_local_type, link_type(router.idx, via))

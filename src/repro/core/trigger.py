@@ -1,0 +1,35 @@
+"""The misrouting trigger.
+
+From §III of the paper: *"Routing chooses between the minimal output
+and one of the possible non-minimal outputs using a misrouting trigger
+based on the credits count of the output ports.  If the minimal output
+is not available, a non-minimal output is randomly chosen among those
+with an occupancy lower than a given threshold.  This threshold is a
+percentage of the occupancy of the minimal queue."*
+
+Higher thresholds allow more misrouting (better under adversarial
+traffic, worse under uniform), as swept in Figures 10–11.
+"""
+
+from __future__ import annotations
+
+
+class MisroutingTrigger:
+    """Credit-count trigger comparing a candidate against the minimal queue."""
+
+    __slots__ = ("threshold",)
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+
+    def allows(self, minimal_occupancy: int, candidate_occupancy: int) -> bool:
+        """True when the candidate queue is empty enough relative to minimal.
+
+        ``occupancy`` values are phit counts of the downstream buffers.
+        When the minimal queue is empty the trigger never fires (there
+        is nothing to escape from — the block is transient
+        serialization).
+        """
+        return candidate_occupancy < self.threshold * minimal_occupancy

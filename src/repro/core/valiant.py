@@ -1,0 +1,50 @@
+"""Valiant randomized routing: obligatory global misrouting.
+
+Every packet travels minimally to a random intermediate supernode
+(neither source nor destination), then minimally to its destination —
+paths up to ``l-g-l-g-l``, VCs ``lVC1-gVC1-lVC2-gVC2-lVC3``.  The
+baseline for adversarial-global traffic.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Decision, RoutingAlgorithm
+from repro.topology.dragonfly import PortKind
+
+
+class ValiantRouting(RoutingAlgorithm):
+    """Valiant: random intermediate group for every packet."""
+
+    name = "valiant"
+    local_vcs = 3
+    global_vcs = 2
+
+    def decide(self, router, packet, now, flit):
+        if (
+            packet.valiant_group is None
+            and packet.g_hops == 0
+            and packet.dst_router != packet.src_router
+        ):
+            # re-rolled each blocked cycle until the first hop is granted;
+            # committed via Decision.valiant_group on the grant
+            tg = self.pick_valiant_group(packet)
+            saved = packet.valiant_group
+            packet.valiant_group = tg
+            try:
+                out, kind, target = self.minimal_next(router, packet)
+            finally:
+                packet.valiant_group = saved
+            vc = self.vc_minimal(packet, kind)
+            if not router.can_accept(out, vc, flit, now):
+                return None
+            return Decision(
+                out, vc, valiant_group=tg,
+                local_target=target if kind == PortKind.LOCAL else None,
+            )
+        out, kind, target = self.minimal_next(router, packet)
+        vc = self.vc_minimal(packet, kind)
+        if not router.can_accept(out, vc, flit, now):
+            return None
+        if kind == PortKind.LOCAL:
+            return Decision(out, vc, local_target=target)
+        return Decision(out, vc)

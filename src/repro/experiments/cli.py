@@ -1,0 +1,64 @@
+"""Command-line interface.
+
+Examples::
+
+    dragonfly-repro list
+    dragonfly-repro run fig5c --scale tiny --seed 2
+    dragonfly-repro run tab1
+    dragonfly-repro run all --scale smoke --json-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_result, save_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="dragonfly-repro",
+        description="Regenerate the tables and figures of García et al., ICPP 2013.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run.add_argument("--scale", default="tiny",
+                     help="tiny (h=2, default) | smoke | small (h=3) | paper (h=8, slow)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--workers", type=int, default=1,
+                     help="process-pool size for load sweeps (1 = serial)")
+    run.add_argument("--json", help="write the result to this JSON file")
+    run.add_argument("--json-dir", help="write one JSON per experiment into this directory")
+    run.add_argument("--svg-dir", help="render one SVG figure per experiment into this directory")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.id:8} {spec.description}")
+        return 0
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in ids:
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
+                                workers=args.workers)
+        print(format_result(result))
+        print()
+        if args.json and len(ids) == 1:
+            save_result(result, args.json)
+        if args.json_dir:
+            save_result(result, f"{args.json_dir.rstrip('/')}/{exp_id}.json")
+        if args.svg_dir and exp_id != "tab1":
+            from repro.experiments.svgplot import chart_from_result
+
+            chart_from_result(result).save(f"{args.svg_dir.rstrip('/')}/{exp_id}.svg")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""One runner per evaluation element of the paper.
+
+Figure pairs that share simulations (4a/5a are the latency and
+throughput of the same sweep) are produced by a single runner; the
+registry exposes per-figure ids that project the shared records.
+"""
+
+from __future__ import annotations
+
+from repro.core.paritysign import CANONICAL_ORDER, TYPE_NAMES, build_allowed_table
+from repro.experiments.presets import get_scale
+from repro.experiments.sweeps import burst_drain, load_sweep, mixed_sweep, threshold_sweep
+from repro.network.config import paper_vct_config, paper_wh_config
+
+#: mechanisms plotted per figure family (paper legend order)
+VCT_UN_MECHS = ("par62", "olm", "rlm", "minimal", "pb")
+VCT_ADV_MECHS = ("par62", "olm", "rlm", "valiant", "pb")
+VCT_MIX_MECHS = ("par62", "olm", "rlm", "pb")
+WH_UN_MECHS = ("par62", "rlm", "minimal", "pb")
+WH_ADV_MECHS = ("par62", "rlm", "valiant", "pb")
+WH_MIX_MECHS = ("par62", "rlm", "pb")
+
+MIX_PERCENTAGES = (0, 20, 40, 60, 80, 100)
+THRESHOLDS = (0.30, 0.40, 0.45, 0.50, 0.60)
+
+
+def _sweep(mechs, cfg_fn, scale, pattern: str, loads, seed: int,
+           workers: int = 1) -> dict:
+    scale = get_scale(scale)
+    loads = tuple(loads or _loads(scale, pattern))
+    if workers and workers > 1:
+        from repro.experiments.parallel import parallel_multi_sweep
+
+        spec = [(m, cfg_fn(h=scale.h, routing=m, seed=seed), pattern) for m in mechs]
+        series = parallel_multi_sweep(spec, loads, scale.warmup, scale.measure, workers)
+    else:
+        series = {
+            mech: load_sweep(cfg_fn(h=scale.h, routing=mech, seed=seed), pattern,
+                             loads, scale.warmup, scale.measure)
+            for mech in mechs
+        }
+    return {"pattern": pattern, "scale": scale.name, "series": series}
+
+
+def _loads(scale, pattern: str):
+    return scale.loads_uniform if pattern == "uniform" else scale.loads_adversarial
+
+
+# ------------------------------------------------------------ VCT (Figs 4/5)
+def sweep_vct_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 4a + 5a: UN traffic, VCT."""
+    return _sweep(VCT_UN_MECHS, paper_vct_config, scale, "uniform", loads, seed, workers)
+
+
+def sweep_vct_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 4b + 5b: ADVG+1, VCT."""
+    return _sweep(VCT_ADV_MECHS, paper_vct_config, scale, "advg+1", loads, seed, workers)
+
+
+def sweep_vct_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 4c + 5c: ADVG+h, VCT (pathological local saturation)."""
+    return _sweep(VCT_ADV_MECHS, paper_vct_config, scale, "advg+h", loads, seed, workers)
+
+
+# ------------------------------------------------------------- WH (Figs 7/8)
+def sweep_wh_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 7a + 8a: UN traffic, WH."""
+    return _sweep(WH_UN_MECHS, paper_wh_config, scale, "uniform", loads, seed, workers)
+
+
+def sweep_wh_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 7b + 8b: ADVG+1, WH."""
+    return _sweep(WH_ADV_MECHS, paper_wh_config, scale, "advg+1", loads, seed, workers)
+
+
+def sweep_wh_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+    """Figures 7c + 8c: ADVG+h, WH."""
+    return _sweep(WH_ADV_MECHS, paper_wh_config, scale, "advg+h", loads, seed, workers)
+
+
+# ------------------------------------------------ mixed + burst (Figs 6 / 9)
+def mixed_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+    """Figure 6a: ADVG+h/ADVL+1 mix throughput at offered load 1.0, VCT."""
+    scale = get_scale(scale)
+    series = {
+        mech: mixed_sweep(paper_vct_config(h=scale.h, routing=mech, seed=seed),
+                          percentages, 1.0, scale.warmup, scale.measure)
+        for mech in VCT_MIX_MECHS
+    }
+    return {"pattern": "mixed", "scale": scale.name, "series": series}
+
+
+def burst_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+    """Figure 6b: burst-consumption time under the ADVG/ADVL mix, VCT."""
+    scale = get_scale(scale)
+    series = {
+        mech: burst_drain(paper_vct_config(h=scale.h, routing=mech, seed=seed),
+                          percentages, scale.burst_vct, scale.max_drain_cycles)
+        for mech in VCT_MIX_MECHS
+    }
+    return {"pattern": "burst", "scale": scale.name, "series": series}
+
+
+def mixed_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+    """Figure 9a: mix throughput, WH."""
+    scale = get_scale(scale)
+    series = {
+        mech: mixed_sweep(paper_wh_config(h=scale.h, routing=mech, seed=seed),
+                          percentages, 1.0, scale.warmup, scale.measure)
+        for mech in WH_MIX_MECHS
+    }
+    return {"pattern": "mixed", "scale": scale.name, "series": series}
+
+
+def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+    """Figure 9b: burst-consumption time, WH (payload matched to Fig 6b)."""
+    scale = get_scale(scale)
+    series = {
+        mech: burst_drain(paper_wh_config(h=scale.h, routing=mech, seed=seed),
+                          percentages, scale.burst_wh, scale.max_drain_cycles)
+        for mech in WH_MIX_MECHS
+    }
+    return {"pattern": "burst", "scale": scale.name, "series": series}
+
+
+# ------------------------------------------------- thresholds (Figs 10 / 11)
+def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
+    """Figure 10: RLM/VCT misrouting-threshold sweep under UN."""
+    scale = get_scale(scale)
+    cfg = paper_vct_config(h=scale.h, routing="rlm", seed=seed)
+    series = threshold_sweep(cfg, thresholds, "uniform", scale.loads_uniform,
+                             scale.warmup, scale.measure)
+    return {"pattern": "uniform", "scale": scale.name,
+            "series": {f"th={int(th * 100)}%": pts for th, pts in series.items()}}
+
+
+def threshold_advg1(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
+    """Figure 11: RLM/VCT misrouting-threshold sweep under ADVG+1."""
+    scale = get_scale(scale)
+    cfg = paper_vct_config(h=scale.h, routing="rlm", seed=seed)
+    series = threshold_sweep(cfg, thresholds, "advg+1", scale.loads_adversarial,
+                             scale.warmup, scale.measure)
+    return {"pattern": "advg+1", "scale": scale.name,
+            "series": {f"th={int(th * 100)}%": pts for th, pts in series.items()}}
+
+
+# ----------------------------------------------------------------- Table I
+def table1(**_ignored) -> dict:
+    """Table I: the parity-sign hop-combination table, regenerated."""
+    table = build_allowed_table(CANONICAL_ORDER)
+    rows = [
+        {
+            "first": TYPE_NAMES[t1],
+            "second": TYPE_NAMES[t2],
+            "allowed": table[t1][t2],
+        }
+        for t1 in range(4)
+        for t2 in range(4)
+    ]
+    return {"pattern": "table1", "scale": "n/a", "series": {"parity-sign": rows}}

@@ -1,0 +1,72 @@
+"""Scale presets.
+
+The paper simulates the maximum well-balanced Dragonfly with ``h = 8``
+(2 064 routers, 16 512 nodes).  A pure-Python cycle simulator cannot
+sweep that in reasonable time, so experiments default to reduced scales
+with identical router architecture and per-link parameters; DESIGN.md
+§3 records the substitution.  ``paper`` is provided for completeness
+(expect hours per point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale: network size and measurement windows."""
+
+    name: str
+    h: int
+    warmup: int
+    measure: int
+    #: offered loads for uniform-traffic sweeps
+    loads_uniform: tuple[float, ...]
+    #: offered loads for adversarial sweeps
+    loads_adversarial: tuple[float, ...]
+    #: packets per node in the VCT burst experiment (paper: 1000)
+    burst_vct: int
+    #: packets per node in the WH burst experiment (paper: 89)
+    burst_wh: int
+    #: cap for drain experiments
+    max_drain_cycles: int = 2_000_000
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny", h=2, warmup=2500, measure=2500,
+        loads_uniform=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        loads_adversarial=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6),
+        burst_vct=120, burst_wh=12,
+    ),
+    "smoke": Scale(
+        name="smoke", h=2, warmup=800, measure=800,
+        loads_uniform=(0.2, 0.5, 0.8),
+        loads_adversarial=(0.1, 0.3, 0.5),
+        burst_vct=20, burst_wh=3,
+    ),
+    "small": Scale(
+        name="small", h=3, warmup=4000, measure=4000,
+        loads_uniform=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        loads_adversarial=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5),
+        burst_vct=60, burst_wh=8,
+    ),
+    "paper": Scale(
+        name="paper", h=8, warmup=20000, measure=20000,
+        loads_uniform=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+        loads_adversarial=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4),
+        burst_vct=1000, burst_wh=89,
+        max_drain_cycles=50_000_000,
+    ),
+}
+
+
+def get_scale(name_or_scale) -> Scale:
+    """Resolve a scale by name or pass an explicit :class:`Scale` through."""
+    if isinstance(name_or_scale, Scale):
+        return name_or_scale
+    try:
+        return SCALES[name_or_scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {name_or_scale!r}; known: {sorted(SCALES)}") from None

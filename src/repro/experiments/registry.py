@@ -1,0 +1,96 @@
+"""Experiment registry: figure/table id -> runner + projection.
+
+Latency and throughput figures that share a sweep point at the same
+runner; the ``metric`` field says which column the figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import figures
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A reproducible element of the paper's evaluation."""
+
+    id: str
+    runner: Callable[..., dict]
+    metric: str
+    description: str
+
+
+_SPECS = [
+    ExperimentSpec("fig4a", figures.sweep_vct_uniform, "mean_latency",
+                   "Latency vs offered load, UN, VCT (Fig 4a)"),
+    ExperimentSpec("fig4b", figures.sweep_vct_advg1, "mean_latency",
+                   "Latency vs offered load, ADVG+1, VCT (Fig 4b)"),
+    ExperimentSpec("fig4c", figures.sweep_vct_advgh, "mean_latency",
+                   "Latency vs offered load, ADVG+h, VCT (Fig 4c)"),
+    ExperimentSpec("fig5a", figures.sweep_vct_uniform, "throughput",
+                   "Accepted vs offered load, UN, VCT (Fig 5a)"),
+    ExperimentSpec("fig5b", figures.sweep_vct_advg1, "throughput",
+                   "Accepted vs offered load, ADVG+1, VCT (Fig 5b)"),
+    ExperimentSpec("fig5c", figures.sweep_vct_advgh, "throughput",
+                   "Accepted vs offered load, ADVG+h, VCT (Fig 5c)"),
+    ExperimentSpec("fig6a", figures.mixed_vct, "throughput",
+                   "Throughput vs %global (ADVG+h/ADVL+1), VCT (Fig 6a)"),
+    ExperimentSpec("fig6b", figures.burst_vct, "drain_cycles",
+                   "Burst consumption time vs %global, VCT (Fig 6b)"),
+    ExperimentSpec("fig7a", figures.sweep_wh_uniform, "mean_latency",
+                   "Latency vs offered load, UN, WH (Fig 7a)"),
+    ExperimentSpec("fig7b", figures.sweep_wh_advg1, "mean_latency",
+                   "Latency vs offered load, ADVG+1, WH (Fig 7b)"),
+    ExperimentSpec("fig7c", figures.sweep_wh_advgh, "mean_latency",
+                   "Latency vs offered load, ADVG+h, WH (Fig 7c)"),
+    ExperimentSpec("fig8a", figures.sweep_wh_uniform, "throughput",
+                   "Accepted vs offered load, UN, WH (Fig 8a)"),
+    ExperimentSpec("fig8b", figures.sweep_wh_advg1, "throughput",
+                   "Accepted vs offered load, ADVG+1, WH (Fig 8b)"),
+    ExperimentSpec("fig8c", figures.sweep_wh_advgh, "throughput",
+                   "Accepted vs offered load, ADVG+h, WH (Fig 8c)"),
+    ExperimentSpec("fig9a", figures.mixed_wh, "throughput",
+                   "Throughput vs %global (ADVG+h/ADVL+1), WH (Fig 9a)"),
+    ExperimentSpec("fig9b", figures.burst_wh, "drain_cycles",
+                   "Burst consumption time vs %global, WH (Fig 9b)"),
+    ExperimentSpec("fig10", figures.threshold_uniform, "throughput",
+                   "RLM threshold sweep, UN, VCT (Figs 10a/10b)"),
+    ExperimentSpec("fig11", figures.threshold_advg1, "throughput",
+                   "RLM threshold sweep, ADVG+1, VCT (Figs 11a/11b)"),
+    ExperimentSpec("tab1", figures.table1, "allowed",
+                   "Parity-sign hop combination table (Table I)"),
+]
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {s.id: s for s in _SPECS}
+
+# Latency and throughput figures (4a/5a, 7b/8b, ...) share one runner; cache
+# runner outputs per (runner, scale, seed) so `run all` simulates each sweep
+# once.  Process-local and keyed on everything that affects the records.
+_RUNNER_CACHE: dict[tuple, dict] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized runner results (tests and long-lived processes)."""
+    _RUNNER_CACHE.clear()
+
+
+def run_experiment(exp_id: str, scale="tiny", seed: int = 1, **kwargs) -> dict:
+    """Run one registered experiment; returns its records plus metadata."""
+    try:
+        spec = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    if exp_id == "tab1":
+        result = dict(spec.runner())
+    else:
+        scale_key = scale if isinstance(scale, str) else getattr(scale, "name", str(scale))
+        key = (spec.runner.__name__, scale_key, seed, tuple(sorted(kwargs.items())))
+        if key not in _RUNNER_CACHE:
+            _RUNNER_CACHE[key] = spec.runner(scale=scale, seed=seed, **kwargs)
+        result = dict(_RUNNER_CACHE[key])
+    result.update(id=exp_id, metric=spec.metric, description=spec.description)
+    return result

@@ -1,0 +1,67 @@
+"""Text rendering and JSON persistence of experiment results."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+
+def save_result(result: dict, path: str | Path) -> None:
+    """Write an experiment result to JSON (directories created as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True))
+
+
+def load_result(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "YES" if value else "NO"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_result(result: dict) -> str:
+    """Render an experiment result as an aligned text table."""
+    metric = result.get("metric", "throughput")
+    lines = [f"# {result.get('id', '?')} — {result.get('description', '')}"
+             f" [scale={result.get('scale', '?')}]"]
+    for series_name, points in result["series"].items():
+        lines.append(f"\n## {series_name}")
+        if not points:
+            continue
+        if "second" in points[0]:  # Table I layout
+            lines.append(f"{'first':>8} {'second':>8} | allowed")
+            lines.append("-" * 28)
+            for p in points:
+                lines.append(f"{p['first']:>8} {p['second']:>8} | {_fmt(p['allowed'])}")
+            continue
+        x_key = _x_key(points[0])
+        header = f"{x_key:>12} | {metric:>14}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in points:
+            lines.append(f"{_fmt(p.get(x_key)):>12} | {_fmt(p.get(metric)):>14}")
+    return "\n".join(lines)
+
+
+def _x_key(point: dict) -> str:
+    for key in ("load", "global_pct", "first"):
+        if key in point:
+            return key
+    return next(iter(point))
+
+
+def summarize_saturation(result: dict) -> dict[str, float]:
+    """Max accepted load per series — the headline numbers of Figs 5/8."""
+    return {
+        name: max((p.get("throughput", 0.0) for p in pts), default=0.0)
+        for name, pts in result["series"].items()
+    }

@@ -1,0 +1,186 @@
+"""Minimal, dependency-free SVG line charts for experiment results.
+
+matplotlib is deliberately not required (offline/cluster environments);
+this renders the paper-style "metric vs offered load / %global" figures
+as standalone SVG files.  It is intentionally small: line series,
+markers, axes with tick labels, a legend — nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+#: line colours per series, recycled when more series than colours
+PALETTE = (
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#17becf", "#7f7f7f",
+)
+MARKERS = ("circle", "square", "diamond", "triangle", "cross")
+
+WIDTH, HEIGHT = 640, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 160, 30, 55
+
+
+def _finite(points):
+    return [(x, y) for x, y in points
+            if x is not None and y is not None
+            and not (isinstance(y, float) and math.isnan(y))]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi] (a tiny Wilkinson-lite)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n)
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if step >= raw:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _marker_svg(shape: str, x: float, y: float, color: str) -> str:
+    s = 3.5
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{s}" fill="{color}"/>'
+    if shape == "square":
+        return (f'<rect x="{x - s:.1f}" y="{y - s:.1f}" width="{2 * s}" '
+                f'height="{2 * s}" fill="{color}"/>')
+    if shape == "diamond":
+        return (f'<polygon points="{x},{y - s} {x + s},{y} {x},{y + s} {x - s},{y}" '
+                f'fill="{color}"/>')
+    if shape == "triangle":
+        return (f'<polygon points="{x},{y - s} {x + s},{y + s} {x - s},{y + s}" '
+                f'fill="{color}"/>')
+    return (f'<path d="M{x - s},{y - s} L{x + s},{y + s} M{x - s},{y + s} '
+            f'L{x + s},{y - s}" stroke="{color}" stroke-width="1.5"/>')
+
+
+class LineChart:
+    """Build and serialise one line chart."""
+
+    def __init__(self, title: str, xlabel: str, ylabel: str) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.series: list[tuple[str, list[tuple[float, float]]]] = []
+
+    def add_series(self, name: str, points) -> None:
+        pts = _finite(points)
+        if pts:
+            self.series.append((name, sorted(pts)))
+
+    # ------------------------------------------------------------ rendering
+    def to_svg(self) -> str:
+        if not self.series:
+            raise ValueError("chart has no plottable series")
+        xs = [x for _, pts in self.series for x, _ in pts]
+        ys = [y for _, pts in self.series for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1
+        pad = 0.05 * (y_hi - y_lo or 1.0)
+        y_lo, y_hi = y_lo - pad, y_hi + pad
+        plot_w = WIDTH - MARGIN_L - MARGIN_R
+        plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+        def sx(x):
+            return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y):
+            return MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+        out = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+            f'height="{HEIGHT}" font-family="Helvetica,Arial,sans-serif" '
+            f'font-size="12">',
+            f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+            f'<text x="{WIDTH / 2}" y="18" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{self.title}</text>',
+        ]
+        # axes box + grid + ticks
+        out.append(
+            f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#333"/>'
+        )
+        for t in _nice_ticks(x_lo, x_hi):
+            if not x_lo <= t <= x_hi:
+                continue
+            x = sx(t)
+            out.append(f'<line x1="{x:.1f}" y1="{MARGIN_T}" x2="{x:.1f}" '
+                       f'y2="{MARGIN_T + plot_h}" stroke="#ddd"/>')
+            out.append(f'<text x="{x:.1f}" y="{MARGIN_T + plot_h + 16}" '
+                       f'text-anchor="middle">{t:g}</text>')
+        for t in _nice_ticks(y_lo, y_hi):
+            if not y_lo <= t <= y_hi:
+                continue
+            y = sy(t)
+            out.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+                       f'x2="{MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#ddd"/>')
+            out.append(f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+                       f'text-anchor="end">{t:g}</text>')
+        out.append(
+            f'<text x="{MARGIN_L + plot_w / 2}" y="{HEIGHT - 12}" '
+            f'text-anchor="middle">{self.xlabel}</text>'
+        )
+        out.append(
+            f'<text x="16" y="{MARGIN_T + plot_h / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {MARGIN_T + plot_h / 2})">{self.ylabel}</text>'
+        )
+        # series
+        for i, (name, pts) in enumerate(self.series):
+            color = PALETTE[i % len(PALETTE)]
+            marker = MARKERS[i % len(MARKERS)]
+            path = " ".join(
+                f"{'M' if j == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+                for j, (x, y) in enumerate(pts)
+            )
+            out.append(f'<path d="{path}" fill="none" stroke="{color}" '
+                       f'stroke-width="1.8"/>')
+            for x, y in pts:
+                out.append(_marker_svg(marker, sx(x), sy(y), color))
+            ly = MARGIN_T + 14 + 18 * i
+            lx = MARGIN_L + plot_w + 12
+            out.append(f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" '
+                       f'y2="{ly - 4}" stroke="{color}" stroke-width="1.8"/>')
+            out.append(_marker_svg(marker, lx + 11, ly - 4, color))
+            out.append(f'<text x="{lx + 28}" y="{ly}">{name}</text>')
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_svg())
+        return path
+
+
+def chart_from_result(result: dict) -> LineChart:
+    """Turn a registry experiment result into a paper-style chart."""
+    metric = result.get("metric", "throughput")
+    ylabels = {
+        "mean_latency": "Average latency (cycles)",
+        "throughput": "Accepted load (phits/(node*cycle))",
+        "drain_cycles": "Burst consumption time (cycles)",
+    }
+    first_series = next(iter(result["series"].values()))
+    x_key = "load" if first_series and "load" in first_series[0] else "global_pct"
+    xlabels = {"load": "Offered load (phits/(node*cycle))",
+               "global_pct": "Global traffic percentage (%)"}
+    chart = LineChart(
+        title=f"{result.get('id', '')}: {result.get('description', '')}",
+        xlabel=xlabels[x_key],
+        ylabel=ylabels.get(metric, metric),
+    )
+    for name, pts in result["series"].items():
+        chart.add_series(name, [(p.get(x_key), p.get(metric)) for p in pts])
+    return chart

@@ -1,0 +1,88 @@
+"""Sweep runners: one steady-state point, load sweeps, mixed sweeps, bursts.
+
+Every runner returns plain dict records (JSON-serialisable) so that the
+CLI, the benchmarks and EXPERIMENTS.md share one source of numbers.
+"""
+
+from __future__ import annotations
+
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator
+from repro.traffic.patterns import MixedGlobalLocal, pattern_by_name
+from repro.traffic.processes import BernoulliTraffic, BurstTraffic
+
+
+def run_point(config: SimConfig, pattern_spec: str, load: float,
+              warmup: int, measure: int) -> dict:
+    """One steady-state measurement: warm up, reset stats, measure."""
+    sim = Simulator(config)
+    pattern = pattern_by_name(pattern_spec, sim.topo)
+    sim.traffic = BernoulliTraffic(pattern, load)
+    sim.run(warmup)
+    sim.stats.reset(sim.now)
+    sim.run(measure)
+    rec = sim.stats.as_dict(sim.topo.num_nodes, sim.now)
+    rec.update(routing=config.routing, pattern=pattern_spec, load=load,
+               flow_control=config.flow_control, h=config.h)
+    return rec
+
+
+def load_sweep(config: SimConfig, pattern_spec: str, loads, warmup: int,
+               measure: int) -> list[dict]:
+    """Offered-load sweep (one latency/throughput curve of Figs 4/5/7/8)."""
+    return [run_point(config, pattern_spec, load, warmup, measure) for load in loads]
+
+
+def mixed_sweep(config: SimConfig, percentages, load: float, warmup: int,
+                measure: int, *, global_offset: int | None = None) -> list[dict]:
+    """ADVG+h / ADVL+1 mix sweep at fixed offered load (Figs 6a/9a)."""
+    out = []
+    for pct in percentages:
+        sim = Simulator(config)
+        off = sim.topo.h if global_offset is None else global_offset
+        sim.traffic = BernoulliTraffic(MixedGlobalLocal(pct / 100.0, off), load)
+        sim.run(warmup)
+        sim.stats.reset(sim.now)
+        sim.run(measure)
+        rec = sim.stats.as_dict(sim.topo.num_nodes, sim.now)
+        rec.update(routing=config.routing, pattern=f"mixed:{pct}", load=load,
+                   global_pct=pct, flow_control=config.flow_control, h=config.h)
+        out.append(rec)
+    return out
+
+
+def burst_drain(config: SimConfig, percentages, packets_per_node: int,
+                max_cycles: int, *, global_offset: int | None = None) -> list[dict]:
+    """Burst-consumption experiment (Figs 6b/9b): cycles to drain a burst."""
+    out = []
+    for pct in percentages:
+        sim = Simulator(config)
+        off = sim.topo.h if global_offset is None else global_offset
+        sim.traffic = BurstTraffic(
+            MixedGlobalLocal(pct / 100.0, off), packets_per_node
+        )
+        cycles = sim.run_until_drained(max_cycles)
+        out.append({
+            "routing": config.routing,
+            "global_pct": pct,
+            "packets_per_node": packets_per_node,
+            "drain_cycles": cycles,
+            "delivered": sim.stats.delivered,
+            "flow_control": config.flow_control,
+            "h": config.h,
+        })
+    return out
+
+
+def threshold_sweep(config: SimConfig, thresholds, pattern_spec: str, loads,
+                    warmup: int, measure: int) -> dict[float, list[dict]]:
+    """Misrouting-threshold sweep (Figs 10/11): one load sweep per threshold."""
+    return {
+        th: load_sweep(config.with_(threshold=th), pattern_spec, loads, warmup, measure)
+        for th in thresholds
+    }
+
+
+def saturation_throughput(points: list[dict]) -> float:
+    """Maximum accepted load over a sweep (the 'saturation' headline number)."""
+    return max((p["throughput"] for p in points), default=0.0)

@@ -1,0 +1,23 @@
+"""Measurement: steady-state collection, probes and statistical tooling."""
+
+from repro.metrics.collector import StatsCollector
+from repro.metrics.probes import ThroughputProbe, injection_backlog, occupancy_snapshot
+from repro.metrics.statistics import (
+    BatchMeansResult,
+    batch_means,
+    compare_series,
+    saturation_point,
+    steady_state_reached,
+)
+
+__all__ = [
+    "StatsCollector",
+    "ThroughputProbe",
+    "occupancy_snapshot",
+    "injection_backlog",
+    "BatchMeansResult",
+    "batch_means",
+    "compare_series",
+    "saturation_point",
+    "steady_state_reached",
+]

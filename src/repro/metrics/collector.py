@@ -1,0 +1,94 @@
+"""Statistics collection.
+
+The collector counts since its last :meth:`reset`; sweep runners reset
+it after warm-up so that measurements cover a steady-state window, as
+the paper does ("throughput and latency values ... in steady state").
+Latency is measured from packet generation (source-queue time included)
+to tail ejection, so it diverges past saturation like Figures 4/7.
+"""
+
+from __future__ import annotations
+
+
+class StatsCollector:
+    """Accumulates delivery statistics over a measurement window."""
+
+    __slots__ = (
+        "window_start",
+        "generated",
+        "delivered",
+        "delivered_phits",
+        "latency_sum",
+        "latency_max",
+        "hops_sum",
+        "local_misroutes",
+        "global_misroutes",
+    )
+
+    def __init__(self) -> None:
+        self.reset(0)
+
+    def reset(self, now: int = 0) -> None:
+        """Zero all counters; measurements restart at cycle ``now``."""
+        self.window_start = now
+        self.generated = 0
+        self.delivered = 0
+        self.delivered_phits = 0
+        self.latency_sum = 0
+        self.latency_max = 0
+        self.hops_sum = 0
+        self.local_misroutes = 0
+        self.global_misroutes = 0
+
+    # ------------------------------------------------------------- callbacks
+    def on_generated(self, packet) -> None:
+        self.generated += 1
+
+    def on_delivered(self, packet, now: int) -> None:
+        self.delivered += 1
+        self.delivered_phits += packet.size_phits
+        latency = now - packet.birth
+        self.latency_sum += latency
+        if latency > self.latency_max:
+            self.latency_max = latency
+        self.hops_sum += packet.local_hops_total + packet.g_hops
+        self.local_misroutes += packet.local_misroutes
+        if packet.global_misrouted:
+            self.global_misroutes += 1
+
+    # ------------------------------------------------------------- readouts
+    def mean_latency(self) -> float:
+        """Mean cycles from generation to tail ejection (NaN when empty)."""
+        return self.latency_sum / self.delivered if self.delivered else float("nan")
+
+    def mean_hops(self) -> float:
+        return self.hops_sum / self.delivered if self.delivered else float("nan")
+
+    def throughput(self, num_nodes: int, now: int) -> float:
+        """Accepted load in phits/(node*cycle) over the window ending at ``now``."""
+        window = now - self.window_start
+        if window <= 0 or num_nodes <= 0:
+            return 0.0
+        return self.delivered_phits / (num_nodes * window)
+
+    def local_misroute_rate(self) -> float:
+        """Mean local misroutes per delivered packet."""
+        return self.local_misroutes / self.delivered if self.delivered else float("nan")
+
+    def global_misroute_fraction(self) -> float:
+        """Fraction of delivered packets that took a Valiant detour."""
+        return self.global_misroutes / self.delivered if self.delivered else float("nan")
+
+    def as_dict(self, num_nodes: int, now: int) -> dict:
+        """Snapshot for experiment records."""
+        return {
+            "generated": self.generated,
+            "delivered": self.delivered,
+            "delivered_phits": self.delivered_phits,
+            "mean_latency": self.mean_latency(),
+            "max_latency": self.latency_max,
+            "mean_hops": self.mean_hops(),
+            "throughput": self.throughput(num_nodes, now),
+            "local_misroute_rate": self.local_misroute_rate(),
+            "global_misroute_fraction": self.global_misroute_fraction(),
+        }

@@ -1,0 +1,79 @@
+"""Runtime probes: per-interval time series sampled from a live simulator.
+
+Used to watch warm-up, detect steady state, and record buffer-occupancy
+profiles (e.g. the pathological local link of ADVG+h becoming the
+hotspot).
+"""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import PortKind
+
+
+class ThroughputProbe:
+    """Samples delivered-phit deltas every ``interval`` cycles.
+
+    Call :meth:`sample` once per cycle (or drive it from a loop); the
+    ``series`` attribute holds phits/(node·cycle) per interval.
+    """
+
+    def __init__(self, sim, interval: int = 500) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self.series: list[float] = []
+        self._last_phits = sim.stats.delivered_phits
+        self._next_sample = sim.now + interval
+
+    def sample(self) -> None:
+        if self.sim.now < self._next_sample:
+            return
+        delta = self.sim.stats.delivered_phits - self._last_phits
+        self._last_phits = self.sim.stats.delivered_phits
+        self.series.append(delta / (self.sim.topo.num_nodes * self.interval))
+        self._next_sample += self.interval
+
+    def run(self, cycles: int) -> list[float]:
+        """Advance the simulation, sampling along the way."""
+        end = self.sim.now + cycles
+        while self.sim.now < end:
+            self.sim.step()
+            self.sample()
+        return self.series
+
+
+def occupancy_snapshot(sim) -> dict:
+    """Mean downstream occupancy fraction per port kind, plus the hottest link."""
+    sums = {PortKind.LOCAL: 0.0, PortKind.GLOBAL: 0.0}
+    counts = {PortKind.LOCAL: 0, PortKind.GLOBAL: 0}
+    hottest = (0.0, None)
+    for router in sim.routers:
+        for out in router.outputs:
+            if out.kind == PortKind.EJECT:
+                continue
+            frac = out.mean_occupancy_fraction()
+            sums[out.kind] += frac
+            counts[out.kind] += 1
+            if frac > hottest[0]:
+                hottest = (frac, (router.rid, int(out.kind), out.index))
+    return {
+        "local_mean": sums[PortKind.LOCAL] / max(1, counts[PortKind.LOCAL]),
+        "global_mean": sums[PortKind.GLOBAL] / max(1, counts[PortKind.GLOBAL]),
+        "hottest_fraction": hottest[0],
+        "hottest_link": hottest[1],
+    }
+
+
+def injection_backlog(sim) -> dict:
+    """Total and maximum source-queue occupancy in phits (saturation signal)."""
+    total = 0
+    worst = 0
+    for router in sim.routers:
+        for ip in router.inputs:
+            if not ip.is_injection:
+                continue
+            occ = ip.vcs[0].occupancy
+            total += occ
+            worst = max(worst, occ)
+    return {"total_phits": total, "max_phits": worst}

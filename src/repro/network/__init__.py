@@ -1,0 +1,24 @@
+"""Cycle-level network simulator substrate.
+
+Models FIFO input-buffered virtual-channel routers with credit-based
+flow control, link latency pipelines and per-port serialization — the
+same router architecture as the paper's in-house simulator.
+"""
+
+from repro.network.config import SimConfig
+from repro.network.flowcontrol import FlowControl, VirtualCutThrough, Wormhole, flow_control_by_name
+from repro.network.packet import Packet, Flit
+from repro.network.simulator import Simulator, DeadlockError, build_simulator
+
+__all__ = [
+    "SimConfig",
+    "FlowControl",
+    "VirtualCutThrough",
+    "Wormhole",
+    "flow_control_by_name",
+    "Packet",
+    "Flit",
+    "Simulator",
+    "DeadlockError",
+    "build_simulator",
+]

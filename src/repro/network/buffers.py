@@ -1,0 +1,72 @@
+"""Input-side buffering: virtual-channel FIFOs grouped into physical ports."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.packet import Flit
+
+
+class VCBuffer:
+    """One virtual-channel FIFO at a router input.
+
+    Tracks phit occupancy and the output route allocated to the packet
+    currently being forwarded (body flits follow the head's grant).
+    ``upstream_output`` is the :class:`~repro.network.ports.OutputUnit`
+    feeding this buffer (``None`` for injection queues); credits are
+    returned to it when a flit leaves.
+    """
+
+    __slots__ = (
+        "fifo",
+        "occupancy",
+        "capacity",
+        "vc_index",
+        "upstream_output",
+        "route_out",
+        "route_vc",
+    )
+
+    def __init__(self, capacity: int, vc_index: int) -> None:
+        self.fifo: deque[Flit] = deque()
+        self.occupancy = 0
+        self.capacity = capacity
+        self.vc_index = vc_index
+        self.upstream_output = None  # set during wiring
+        self.route_out: int | None = None
+        self.route_vc: int | None = None
+
+    def head(self) -> Flit | None:
+        return self.fifo[0] if self.fifo else None
+
+    def push(self, flit: Flit) -> None:
+        self.fifo.append(flit)
+        self.occupancy += flit.size
+
+    def pop(self) -> Flit:
+        flit = self.fifo.popleft()
+        self.occupancy -= flit.size
+        return flit
+
+    def __len__(self) -> int:
+        return len(self.fifo)
+
+
+class InputPort:
+    """A physical input port: one or more VC buffers sharing read bandwidth.
+
+    Only one flit per cycle can be read out of a physical port; a flit
+    read keeps the port busy for its serialization time.
+    """
+
+    __slots__ = ("vcs", "busy_until", "rr", "index", "is_injection")
+
+    def __init__(self, num_vcs: int, capacity: int, index: int, is_injection: bool = False) -> None:
+        self.vcs = [VCBuffer(capacity, v) for v in range(num_vcs)]
+        self.busy_until = 0
+        self.rr = 0  # round-robin pointer over VCs
+        self.index = index
+        self.is_injection = is_injection
+
+    def total_flits(self) -> int:
+        return sum(len(vc) for vc in self.vcs)

@@ -1,0 +1,100 @@
+"""Simulation configuration.
+
+Defaults follow the paper's methodology section: local links 10 cycles,
+global links 100 cycles, local FIFOs 32 phits, global FIFOs 256 phits,
+3 local / 2 global VCs (6 local for PAR-6/2), VCT packets of 8 phits,
+WH packets of 80 phits in 8 flits of 10 phits.  The network size
+defaults to ``h = 2`` so that pure-Python sweeps finish quickly; the
+paper's machine is ``h = 8`` and can be built by passing ``h=8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class SimConfig:
+    """All knobs of one simulation run."""
+
+    # ---- topology
+    h: int = 2
+    p: int | None = None
+    a: int | None = None
+    arrangement: str = "palmtree"
+
+    # ---- routing
+    routing: str = "olm"
+    #: misrouting trigger threshold (fraction of minimal-queue occupancy)
+    threshold: float = 0.45
+    #: how many random non-minimal candidates the trigger samples per cycle
+    misroute_candidates: int = 4
+    #: UGAL-style hop weighting for *global* misroute candidates: a Valiant
+    #: detour roughly doubles the path, so its queue is compared at this
+    #: multiple.  1.0 reproduces the paper's unweighted trigger verbatim;
+    #: at the reduced default scale the unweighted trigger over-misroutes
+    #: under uniform traffic (see DESIGN.md §3).
+    trigger_global_hop_weight: float = 2.0
+    #: allow adaptive mechanisms to take a Valiant detour for intra-group traffic
+    allow_global_misroute_local_traffic: bool = True
+
+    # ---- flow control
+    flow_control: str = "vct"  # "vct" | "wh"
+    packet_phits: int = 8
+    flit_phits: int = 10  # WH only
+
+    # ---- router microarchitecture
+    #: output arbitration among competing inputs: "rr" | "random" | "age"
+    arbitration: str = "rr"
+    #: extra pipeline cycles added to every hop (router traversal delay)
+    router_latency: int = 0
+
+    # ---- link/buffer parameters (paper defaults)
+    local_latency: int = 10
+    global_latency: int = 100
+    local_buffer_phits: int = 32
+    global_buffer_phits: int = 256
+    local_vcs: int = 3
+    global_vcs: int = 2
+
+    # ---- piggybacking
+    pb_threshold: float = 0.30
+    pb_update_period: int | None = None  # default: local link latency
+    #: source-queue depth (in packets) that marks intra-group traffic congested
+    pb_inj_backlog_packets: int = 4
+
+    # ---- misc
+    seed: int = 1
+    record_hops: bool = False
+    #: cycles without any flit movement (while packets are in flight) that
+    #: trigger a DeadlockError; generous because global links are 100 cycles
+    deadlock_window: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.flow_control not in ("vct", "wh"):
+            raise ValueError("flow_control must be 'vct' or 'wh'")
+        if self.packet_phits <= 0:
+            raise ValueError("packet_phits must be positive")
+        if not 0.0 <= self.threshold:
+            raise ValueError("threshold must be non-negative")
+        if self.arbitration not in ("rr", "random", "age"):
+            raise ValueError("arbitration must be 'rr', 'random' or 'age'")
+        if self.router_latency < 0:
+            raise ValueError("router_latency must be non-negative")
+        if self.pb_update_period is None:
+            self.pb_update_period = self.local_latency
+
+    def with_(self, **kwargs) -> "SimConfig":
+        """Return a copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)
+
+
+#: Paper-faithful configuration for the VCT experiments (§IV-A), h reduced.
+def paper_vct_config(h: int = 2, routing: str = "olm", **over) -> SimConfig:
+    return SimConfig(h=h, routing=routing, flow_control="vct", packet_phits=8, **over)
+
+
+#: Paper-faithful configuration for the WH experiments (§IV-B), h reduced.
+def paper_wh_config(h: int = 2, routing: str = "rlm", **over) -> SimConfig:
+    return SimConfig(h=h, routing=routing, flow_control="wh",
+                     packet_phits=80, flit_phits=10, **over)

@@ -1,0 +1,109 @@
+"""Packets and flits.
+
+A packet carries its routing state (Valiant commitment, hop counters,
+per-group misrouting bookkeeping) so that *on-the-fly* adaptive
+mechanisms can revisit the routing decision at every hop, as in the
+paper.  Under VCT a packet is a single flit of ``size_phits`` phits;
+under Wormhole it is split into fixed-size flits.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """A network packet plus its in-flight routing state."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "size_phits",
+        "birth",
+        "dst_router",
+        "dst_group",
+        "src_router",
+        "src_group",
+        # routing state
+        "valiant_group",
+        "committed",
+        "g_hops",
+        "local_hops_group",
+        "local_hops_total",
+        "misrouted_group",
+        "prev_local_type",
+        "last_local_vc",
+        "mode",
+        # instrumentation
+        "hops_log",
+        "delivered_cycle",
+        "local_misroutes",
+        "global_misrouted",
+    )
+
+    def __init__(self, pid: int, src: int, dst: int, size_phits: int, birth: int,
+                 src_router: int, src_group: int, dst_router: int, dst_group: int) -> None:
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.size_phits = size_phits
+        self.birth = birth
+        self.src_router = src_router
+        self.src_group = src_group
+        self.dst_router = dst_router
+        self.dst_group = dst_group
+        self.valiant_group: int | None = None
+        self.committed = False
+        self.g_hops = 0
+        self.local_hops_group = 0
+        self.local_hops_total = 0
+        self.misrouted_group = False
+        self.prev_local_type: int | None = None
+        self.last_local_vc = 0
+        self.mode: str | None = None
+        self.hops_log: list | None = None
+        self.delivered_cycle: int | None = None
+        self.local_misroutes = 0
+        self.global_misrouted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Packet({self.pid}, {self.src}->{self.dst}, g_hops={self.g_hops})"
+
+
+class Flit:
+    """A flow-control unit of a packet.
+
+    ``is_head`` flits carry the routing decision; ``is_tail`` flits
+    release virtual-channel ownership.  A single-flit packet (VCT) is
+    both head and tail.
+    """
+
+    __slots__ = ("packet", "index", "size", "is_head", "is_tail")
+
+    def __init__(self, packet: Packet, index: int, size: int, is_head: bool, is_tail: bool) -> None:
+        self.packet = packet
+        self.index = index
+        self.size = size
+        self.is_head = is_head
+        self.is_tail = is_tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(p{self.packet.pid}#{self.index}{kind},{self.size}ph)"
+
+
+def flitize(packet: Packet, flit_size: int) -> list[Flit]:
+    """Split ``packet`` into flits of at most ``flit_size`` phits.
+
+    The final flit absorbs any remainder so that flit sizes sum to the
+    packet size exactly.
+    """
+    if flit_size <= 0:
+        raise ValueError("flit_size must be positive")
+    n = max(1, -(-packet.size_phits // flit_size))
+    sizes = [flit_size] * (n - 1) + [packet.size_phits - flit_size * (n - 1)]
+    flits = [
+        Flit(packet, i, size, i == 0, i == n - 1)
+        for i, size in enumerate(sizes)
+    ]
+    assert sum(f.size for f in flits) == packet.size_phits
+    return flits

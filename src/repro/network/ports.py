@@ -1,0 +1,59 @@
+"""Output-side state: credits, serialization, wormhole VC ownership."""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import PortKind
+
+
+class OutputUnit:
+    """One router output port with per-VC credit counters.
+
+    For LOCAL/GLOBAL ports, ``credits[v]`` tracks the free phits of the
+    downstream VC buffer ``v`` (decremented on send, incremented when
+    the downstream router drains the flit, after the reverse link
+    latency).  ``owner[v]`` implements wormhole channel ownership: a VC
+    is allocated to one packet from head grant to tail grant.
+
+    EJECT ports model the per-node consumption interface: no credits
+    (infinite sink), serialization only.
+    """
+
+    __slots__ = (
+        "kind",
+        "index",
+        "busy_until",
+        "credits",
+        "capacity",
+        "owner",
+        "latency",
+        "dest_router",
+        "dest_port",
+        "rr",
+    )
+
+    def __init__(self, kind: PortKind, index: int, num_vcs: int, capacity: int,
+                 latency: int, dest_router: int | None, dest_port: int | None) -> None:
+        self.kind = kind
+        self.index = index
+        self.busy_until = 0
+        self.capacity = capacity
+        self.credits = [capacity] * num_vcs
+        self.owner: list[int | None] = [None] * num_vcs
+        self.latency = latency
+        self.dest_router = dest_router
+        self.dest_port = dest_port
+        self.rr = 0  # round-robin pointer over requesting inputs
+
+    def occupancy(self, vc: int) -> int:
+        """Phits believed to occupy (or be in flight to) downstream VC ``vc``."""
+        return self.capacity - self.credits[vc]
+
+    def occupancy_fraction(self, vc: int) -> float:
+        return (self.capacity - self.credits[vc]) / self.capacity if self.capacity else 0.0
+
+    def mean_occupancy_fraction(self) -> float:
+        """Mean occupancy over this port's VCs (used by Piggybacking flags)."""
+        if not self.credits or not self.capacity:
+            return 0.0
+        used = sum(self.capacity - c for c in self.credits)
+        return used / (self.capacity * len(self.credits))

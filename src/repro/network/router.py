@@ -1,0 +1,112 @@
+"""Input-buffered virtual-channel router.
+
+Port layout of a router with ``p`` nodes, ``a`` routers/group, ``h``
+global ports:
+
+* outputs: ``0..p-1`` ejection (one per node), ``p..p+a-2`` local,
+  ``p+a-1..p+a+h-2`` global;
+* inputs: ``0..p-1`` injection queues (one per node, single unbounded
+  FIFO), then local and global input ports mirroring the outputs.
+
+Each physical input reads at most one flit per cycle (serialization =
+flit phits); each output transmits at most one flit at a time.  The
+allocation itself lives in :mod:`repro.network.simulator`.
+"""
+
+from __future__ import annotations
+
+from repro.network.buffers import InputPort
+from repro.network.ports import OutputUnit
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+#: practically-infinite capacity for injection queues (open-loop sources)
+INJECTION_CAPACITY = 1 << 60
+
+
+class Router:
+    """One Dragonfly router: input VC buffers + output credit state."""
+
+    __slots__ = ("rid", "group", "idx", "inputs", "outputs", "pending",
+                 "_p", "_a", "_h", "_local_base", "_global_base")
+
+    def __init__(self, rid: int, topo: Dragonfly, *, local_vcs: int, global_vcs: int,
+                 local_capacity: int, global_capacity: int,
+                 local_latency: int, global_latency: int) -> None:
+        self.rid = rid
+        self.group = topo.group_of(rid)
+        self.idx = topo.index_in_group(rid)
+        self.pending = 0  # flits buffered across all inputs (fast skip)
+        p, a, h = topo.p, topo.a, topo.h
+        self._p, self._a, self._h = p, a, h
+        self._local_base = p
+        self._global_base = p + a - 1
+
+        inputs: list[InputPort] = []
+        for k in range(p):
+            inputs.append(InputPort(1, INJECTION_CAPACITY, k, is_injection=True))
+        for q in range(a - 1):
+            inputs.append(InputPort(local_vcs, local_capacity, p + q))
+        for k in range(h):
+            inputs.append(InputPort(global_vcs, global_capacity, p + a - 1 + k))
+        self.inputs = inputs
+
+        outputs: list[OutputUnit] = []
+        for k in range(p):
+            outputs.append(OutputUnit(PortKind.EJECT, k, 1, 0, 0, None, None))
+        for q in range(a - 1):
+            nbr_idx = topo.local_neighbor_index(self.idx, q)
+            nbr = topo.router_id(self.group, nbr_idx)
+            nbr_port = p + topo.local_port_to(nbr_idx, self.idx)
+            outputs.append(OutputUnit(PortKind.LOCAL, q, local_vcs, local_capacity,
+                                      local_latency, nbr, nbr_port))
+        for k in range(h):
+            peer, pport = topo.global_neighbor(rid, k)
+            peer_port = p + a - 1 + pport
+            outputs.append(OutputUnit(PortKind.GLOBAL, k, global_vcs, global_capacity,
+                                      global_latency, peer, peer_port))
+        self.outputs = outputs
+
+    # ------------------------------------------------------------ port maps
+    def out_eject(self, node_index: int) -> int:
+        return node_index
+
+    def out_local(self, port: int) -> int:
+        return self._local_base + port
+
+    def out_global(self, gport: int) -> int:
+        return self._global_base + gport
+
+    # --------------------------------------------------------- availability
+    def can_accept(self, out_idx: int, vc: int, flit, now: int) -> bool:
+        """Whether a *head* flit can be granted to ``(out_idx, vc)`` now."""
+        o = self.outputs[out_idx]
+        if o.busy_until > now:
+            return False
+        if o.kind == PortKind.EJECT:
+            return True
+        if o.credits[vc] < flit.size:
+            return False
+        if not flit.is_tail and o.owner[vc] is not None:
+            return False  # wormhole: the downstream VC is held by another packet
+        return True
+
+    def can_accept_body(self, out_idx: int, vc: int, flit, now: int) -> bool:
+        """Whether a body/tail flit following its head can be granted."""
+        o = self.outputs[out_idx]
+        if o.busy_until > now:
+            return False
+        if o.kind == PortKind.EJECT:
+            return True
+        if o.credits[vc] < flit.size:
+            return False
+        return o.owner[vc] == flit.packet.pid
+
+    def occupancy(self, out_idx: int, vc: int) -> int:
+        """Downstream occupancy in phits of output ``out_idx`` VC ``vc``."""
+        return self.outputs[out_idx].occupancy(vc)
+
+    def buffered_flits(self) -> int:
+        return sum(ip.total_flits() for ip in self.inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Router(rid={self.rid}, group={self.group}, idx={self.idx})"

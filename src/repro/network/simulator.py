@@ -1,0 +1,287 @@
+"""The cycle engine: arrivals, allocation, grants, credits, statistics.
+
+One :class:`Simulator` owns the topology, the routers, the routing
+algorithm instance and the traffic process.  Each cycle it
+
+1. delivers flits whose link traversal completes this cycle,
+2. applies returned credits,
+3. lets the traffic process inject packets,
+4. runs the per-cycle routing hook (Piggybacking broadcasts),
+5. performs routing + switch allocation at every router with buffered
+   flits (round-robin over the VCs of an input port, round-robin over
+   the input ports requesting an output port).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import MisroutingTrigger, routing_by_name
+from repro.metrics.collector import StatsCollector
+from repro.network.config import SimConfig
+from repro.network.flowcontrol import flow_control_by_name
+from repro.network.packet import Packet
+from repro.network.router import Router
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no flit moves for ``deadlock_window`` cycles with traffic in flight."""
+
+
+class Simulator:
+    """Cycle-level Dragonfly simulator."""
+
+    def __init__(self, config: SimConfig, traffic=None) -> None:
+        self.config = config
+        self.topo = Dragonfly(config.h, p=config.p, a=config.a,
+                              arrangement=config.arrangement)
+        algo_cls = routing_by_name(config.routing)
+        if algo_cls.requires_vct and config.flow_control != "vct":
+            raise ValueError(
+                f"routing {config.routing!r} requires VCT flow control "
+                "(it relies on whole-packet reservation)"
+            )
+        self.fc = flow_control_by_name(config.flow_control, flit_size=config.flit_phits)
+        unit = config.packet_phits if config.flow_control == "vct" else config.flit_phits
+        if unit > min(config.local_buffer_phits, config.global_buffer_phits):
+            raise ValueError(
+                f"flow-control unit of {unit} phits does not fit the smallest "
+                f"buffer ({min(config.local_buffer_phits, config.global_buffer_phits)} phits)"
+            )
+        self.local_vcs = max(config.local_vcs, algo_cls.local_vcs)
+        self.global_vcs = max(config.global_vcs, algo_cls.global_vcs)
+        self.rng_traffic = random.Random(config.seed)
+        self.rng_route = random.Random(config.seed ^ 0x9E3779B9)
+        self.trigger = MisroutingTrigger(config.threshold)
+        self.algo = algo_cls(self.topo, config, self.trigger, self.rng_route)
+        self.routers = [
+            Router(
+                rid, self.topo,
+                local_vcs=self.local_vcs, global_vcs=self.global_vcs,
+                local_capacity=config.local_buffer_phits,
+                global_capacity=config.global_buffer_phits,
+                local_latency=config.local_latency,
+                global_latency=config.global_latency,
+            )
+            for rid in range(self.topo.num_routers)
+        ]
+        self._wire_credit_upstreams()
+        self.traffic = traffic
+        self.stats = StatsCollector()
+        #: optional hook ``(packet, cycle) -> None`` fired at tail ejection
+        self.on_packet_delivered = None
+        self.now = 0
+        self.packets_in_flight = 0
+        self._next_pid = 0
+        self._arrivals: dict[int, list] = {}
+        self._credit_events: dict[int, list] = {}
+        self._last_progress = 0
+        self._arbitration = config.arbitration
+        self._router_latency = config.router_latency
+
+    def _wire_credit_upstreams(self) -> None:
+        """Point every input VC buffer at the output unit feeding it."""
+        for router in self.routers:
+            for out in router.outputs:
+                if out.kind == PortKind.EJECT:
+                    continue
+                dest = self.routers[out.dest_router]
+                port = dest.inputs[out.dest_port]
+                for vcb in port.vcs:
+                    vcb.upstream_output = out
+
+    # ------------------------------------------------------------ injection
+    def inject_packet(self, src: int, dst: int, now: int | None = None) -> Packet:
+        """Create a packet at node ``src`` bound for node ``dst`` and queue it."""
+        if src == dst:
+            raise ValueError("source and destination nodes must differ")
+        t = self.now if now is None else now
+        topo = self.topo
+        sr = topo.router_of_node(src)
+        dr = topo.router_of_node(dst)
+        pkt = Packet(self._next_pid, src, dst, self.config.packet_phits, t,
+                     sr, topo.group_of(sr), dr, topo.group_of(dr))
+        self._next_pid += 1
+        if self.config.record_hops:
+            pkt.hops_log = []
+        flits = self.fc.flits_of(pkt)
+        router = self.routers[sr]
+        vcb = router.inputs[topo.node_index(src)].vcs[0]
+        for f in flits:
+            vcb.push(f)
+        router.pending += len(flits)
+        self.stats.on_generated(pkt)
+        self.packets_in_flight += 1
+        return pkt
+
+    # ------------------------------------------------------------ main loop
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        t = self.now
+        arrivals = self._arrivals.pop(t, None)
+        if arrivals:
+            for router, port_idx, vc_idx, flit in arrivals:
+                router.inputs[port_idx].vcs[vc_idx].push(flit)
+                router.pending += 1
+        credits = self._credit_events.pop(t, None)
+        if credits:
+            for out, vc, amount in credits:
+                out.credits[vc] += amount
+        if self.traffic is not None:
+            self.traffic.inject(self, t)
+        self.algo.per_cycle(self, t)
+        for router in self.routers:
+            if router.pending:
+                self._process_router(router, t)
+        self.now = t + 1
+
+    def run(self, cycles: int) -> None:
+        """Run ``cycles`` cycles, watching for deadlock."""
+        end = self.now + cycles
+        window = self.config.deadlock_window
+        while self.now < end:
+            self.step()
+            if (
+                self.packets_in_flight
+                and self.now - self._last_progress > window
+            ):
+                raise DeadlockError(
+                    f"no flit moved for {window} cycles at t={self.now} "
+                    f"with {self.packets_in_flight} packets in flight"
+                )
+
+    def run_until_drained(self, max_cycles: int) -> int:
+        """Run until all traffic is injected and delivered; return the cycle count.
+
+        A traffic process may advertise pending future injections via an
+        ``exhausted`` attribute (burst and trace processes do); open-loop
+        Bernoulli sources are never exhausted, so draining them raises
+        after ``max_cycles`` — detach the traffic first.
+        """
+        window = self.config.deadlock_window
+        start = self.now
+        while True:
+            self.step()  # step first: traffic may inject on the first cycle
+            if not self.packets_in_flight and (
+                self.traffic is None
+                or getattr(self.traffic, "exhausted", True)
+            ):
+                break  # nothing in flight and no future injections pending
+            if self.now - start >= max_cycles:
+                raise DeadlockError(
+                    f"not drained after {max_cycles} cycles "
+                    f"({self.packets_in_flight} packets left)"
+                )
+            if self.now - self._last_progress > window:
+                raise DeadlockError(
+                    f"no flit moved for {window} cycles at t={self.now} "
+                    f"with {self.packets_in_flight} packets in flight"
+                )
+        return self.now - start
+
+    # ------------------------------------------------------------ allocation
+    def _process_router(self, router: Router, t: int) -> None:
+        requests: dict[int, list] | None = None
+        algo = self.algo
+        for ip in router.inputs:
+            if ip.busy_until > t:
+                continue
+            vcs = ip.vcs
+            nv = len(vcs)
+            rr = ip.rr
+            sel = None
+            for off in range(nv):
+                vi = rr + off
+                if vi >= nv:
+                    vi -= nv
+                vcb = vcs[vi]
+                if not vcb.fifo:
+                    continue
+                flit = vcb.fifo[0]
+                if vcb.route_out is None:
+                    # a head flit awaiting (or re-evaluating) its routing decision
+                    dec = algo.decide(router, flit.packet, t, flit)
+                    if dec is None:
+                        continue
+                    sel = (ip, vcb, flit, dec.out, dec.vc, dec)
+                else:
+                    oidx, ovc = vcb.route_out, vcb.route_vc
+                    if not router.can_accept_body(oidx, ovc, flit, t):
+                        continue
+                    sel = (ip, vcb, flit, oidx, ovc, None)
+                break
+            if sel is not None:
+                if requests is None:
+                    requests = {}
+                requests.setdefault(sel[3], []).append(sel)
+        if not requests:
+            return
+        nin = len(router.inputs)
+        arb = self._arbitration
+        for oidx, reqs in requests.items():
+            out = router.outputs[oidx]
+            if len(reqs) == 1:
+                win = reqs[0]
+            elif arb == "age":
+                win = min(reqs, key=lambda s: (s[2].packet.birth, s[0].index))
+            elif arb == "random":
+                win = reqs[self.rng_route.randrange(len(reqs))]
+            else:  # round-robin
+                base = out.rr
+                win = min(reqs, key=lambda s: (s[0].index - base) % nin)
+            out.rr = (win[0].index + 1) % nin
+            self._grant(router, out, win, t)
+
+    def _grant(self, router: Router, out, sel, t: int) -> None:
+        ip, vcb, flit, oidx, ovc, dec = sel
+        vcb.pop()
+        router.pending -= 1
+        ip.busy_until = t + flit.size
+        ip.rr = (vcb.vc_index + 1) % len(ip.vcs)
+        out.busy_until = t + flit.size
+        pkt = flit.packet
+        is_eject = out.kind == PortKind.EJECT
+        if dec is not None:
+            self.algo.on_hop(router, pkt, dec)
+            if pkt.hops_log is not None:
+                pkt.hops_log.append((int(out.kind), out.index, ovc))
+            if not flit.is_tail:
+                vcb.route_out = oidx
+                vcb.route_vc = ovc
+                if not is_eject:
+                    out.owner[ovc] = pkt.pid
+        elif flit.is_tail:
+            vcb.route_out = None
+            vcb.route_vc = None
+            if not is_eject:
+                out.owner[ovc] = None
+        if is_eject:
+            if flit.is_tail:
+                done = t + flit.size
+                pkt.delivered_cycle = done
+                self.stats.on_delivered(pkt, done)
+                self.packets_in_flight -= 1
+                if self.on_packet_delivered is not None:
+                    self.on_packet_delivered(pkt, done)
+        else:
+            out.credits[ovc] -= flit.size
+            when = t + self.fc.arrival_delay(out.latency, flit) + self._router_latency
+            self._arrivals.setdefault(when, []).append(
+                (self.routers[out.dest_router], out.dest_port, ovc, flit)
+            )
+        up = vcb.upstream_output
+        if up is not None:
+            self._credit_events.setdefault(t + up.latency, []).append(
+                (up, vcb.vc_index, flit.size)
+            )
+        self._last_progress = t
+
+    # ------------------------------------------------------------ utilities
+    def total_buffered_flits(self) -> int:
+        return sum(r.buffered_flits() for r in self.routers)
+
+
+def build_simulator(config: SimConfig, traffic=None) -> Simulator:
+    """Factory mirroring the public API (`repro.build_simulator`)."""
+    return Simulator(config, traffic)

@@ -1,0 +1,35 @@
+"""Dragonfly topology: groups of routers, local/global complete graphs.
+
+The canonical *maximum-size well-balanced* Dragonfly of Kim et al. (and of
+the reproduced paper) is parametrised by a single integer ``h``:
+
+* every router has ``h`` injection ports, ``h`` global ports and
+  ``2h - 1`` local ports (complete graph inside the group),
+* a group (supernode) has ``a = 2h`` routers,
+* the system has ``g = a * h + 1 = 2h^2 + 1`` groups, joined pairwise by
+  exactly one global link (complete graph between groups).
+
+:class:`Dragonfly` also accepts the general ``(p, a, h)`` parametrisation
+used in the Dragonfly literature, as long as the global network stays a
+fully-subscribed complete graph (``g = a*h + 1``).
+"""
+
+from repro.topology.arrangements import (
+    GlobalArrangement,
+    PalmTreeArrangement,
+    ConsecutiveArrangement,
+    arrangement_by_name,
+)
+from repro.topology.dragonfly import Dragonfly, PortKind, OutputPort
+from repro.topology.validate import validate_topology
+
+__all__ = [
+    "Dragonfly",
+    "PortKind",
+    "OutputPort",
+    "GlobalArrangement",
+    "PalmTreeArrangement",
+    "ConsecutiveArrangement",
+    "arrangement_by_name",
+    "validate_topology",
+]

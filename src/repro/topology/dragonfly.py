@@ -1,0 +1,218 @@
+"""Dragonfly geometry: id arithmetic, port maps, minimal-route helpers.
+
+All lookup tables are precomputed at construction so the simulator's hot
+loop only does list indexing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.topology.arrangements import GlobalArrangement, arrangement_by_name
+
+
+class PortKind(enum.IntEnum):
+    """Kind of a router output port."""
+
+    EJECT = 0
+    LOCAL = 1
+    GLOBAL = 2
+
+
+@dataclass(frozen=True)
+class OutputPort:
+    """An output port of a specific router.
+
+    ``index`` is the port number within its kind: ejection port
+    ``0..p-1`` (one per attached node), local port ``0..a-2``, global
+    port ``0..h-1``.
+    """
+
+    kind: PortKind
+    index: int
+
+
+class Dragonfly:
+    """A Dragonfly topology with complete-graph local and global networks.
+
+    Parameters
+    ----------
+    h:
+        Global ports per router.  With only ``h`` given, the canonical
+        well-balanced machine is built: ``p = h`` nodes per router,
+        ``a = 2h`` routers per group, ``g = 2h^2 + 1`` groups.
+    p, a:
+        Override nodes-per-router / routers-per-group.  The global
+        network must remain a fully-subscribed complete graph, i.e. the
+        group count is always ``a*h + 1``.
+    arrangement:
+        Name of the global link arrangement (``"palmtree"`` default).
+    """
+
+    def __init__(self, h: int, *, p: int | None = None, a: int | None = None,
+                 arrangement: str = "palmtree") -> None:
+        if h < 1:
+            raise ValueError("h must be >= 1")
+        self.h = h
+        self.p = h if p is None else p
+        self.a = 2 * h if a is None else a
+        if self.p < 1 or self.a < 2:
+            raise ValueError("need p >= 1 and a >= 2")
+        self.num_groups = self.a * self.h + 1
+        self.links_per_group = self.a * self.h
+        self.num_routers = self.num_groups * self.a
+        self.num_nodes = self.num_routers * self.p
+        self.local_ports = self.a - 1
+        self.global_ports = self.h
+        self.radix = self.p + self.local_ports + self.global_ports
+        self.arrangement: GlobalArrangement = arrangement_by_name(
+            arrangement, self.num_groups, self.links_per_group
+        )
+        self._build_tables()
+
+    # ------------------------------------------------------------------ ids
+    def group_of(self, router: int) -> int:
+        """Group id of a router (global router id)."""
+        return router // self.a
+
+    def index_in_group(self, router: int) -> int:
+        """Router index inside its group, ``0 .. a-1``."""
+        return router % self.a
+
+    def router_id(self, group: int, index: int) -> int:
+        """Global router id from (group, index-in-group)."""
+        return group * self.a + index
+
+    def router_of_node(self, node: int) -> int:
+        """Router a compute node is attached to."""
+        return node // self.p
+
+    def node_index(self, node: int) -> int:
+        """Node's injection/ejection port index at its router, ``0 .. p-1``."""
+        return node % self.p
+
+    def node_id(self, router: int, k: int) -> int:
+        """Global node id of the k-th node of ``router``."""
+        return router * self.p + k
+
+    # ----------------------------------------------------------- local ports
+    def local_port_to(self, src_index: int, dst_index: int) -> int:
+        """Local output port of router ``src_index`` reaching ``dst_index``.
+
+        Both arguments are indices *within the group*.
+        """
+        if src_index == dst_index:
+            raise ValueError("no local link from a router to itself")
+        return dst_index if dst_index < src_index else dst_index - 1
+
+    def local_neighbor_index(self, src_index: int, port: int) -> int:
+        """Index-in-group of the router behind local ``port`` of ``src_index``."""
+        if not 0 <= port < self.local_ports:
+            raise ValueError(f"local port {port} out of range")
+        return port if port < src_index else port + 1
+
+    def local_neighbor(self, router: int, port: int) -> int:
+        """Global router id behind local ``port`` of ``router``."""
+        g = self.group_of(router)
+        return self.router_id(g, self.local_neighbor_index(self.index_in_group(router), port))
+
+    # ---------------------------------------------------------- global ports
+    def global_link_index(self, router_index: int, gport: int) -> int:
+        """Group-local global-link index of (router-in-group, global port)."""
+        return router_index * self.h + gport
+
+    def global_link_owner(self, link: int) -> tuple[int, int]:
+        """(router-in-group, global port) owning group-local link ``link``."""
+        return link // self.h, link % self.h
+
+    def global_neighbor(self, router: int, gport: int) -> tuple[int, int]:
+        """(peer router id, peer global port) across global ``gport``."""
+        g = self.group_of(router)
+        i = self.index_in_group(router)
+        pg, plink = self.arrangement.peer(g, self.global_link_index(i, gport))
+        pi, pport = self.global_link_owner(plink)
+        return self.router_id(pg, pi), pport
+
+    # ------------------------------------------------------------- route maps
+    def exit_router_to_group(self, group: int, target_group: int) -> tuple[int, int]:
+        """(router-in-group, global port) of ``group``'s single link to ``target_group``."""
+        link = self.arrangement.link_to_group(group, target_group)
+        return self.global_link_owner(link)
+
+    def _build_tables(self) -> None:
+        # target group of each (group, router-in-group, gport)
+        self._gtarget = [
+            [
+                [self.arrangement.target_group(g, i * self.h + k) for k in range(self.h)]
+                for i in range(self.a)
+            ]
+            for g in range(self.num_groups)
+        ]
+        # per group: for each target group, (router index, gport)
+        self._exit = []
+        for g in range(self.num_groups):
+            row: list[tuple[int, int] | None] = [None] * self.num_groups
+            for t in range(self.num_groups):
+                if t == g:
+                    continue
+                row[t] = self.global_link_owner(self.arrangement.link_to_group(g, t))
+            self._exit.append(row)
+
+    def target_group_of(self, router: int, gport: int) -> int:
+        """Group reached through global ``gport`` of ``router`` (table lookup)."""
+        return self._gtarget[self.group_of(router)][self.index_in_group(router)][gport]
+
+    def exit_port(self, group: int, target_group: int) -> tuple[int, int]:
+        """Cached (router-in-group, gport) for the group's link to ``target_group``."""
+        e = self._exit[group][target_group]
+        if e is None:
+            raise ValueError("no global link inside a group")
+        return e
+
+    # keep the slow path available for validation
+    def _gport_target_abs(self, router: int, gport: int) -> int:
+        g = self.group_of(router)
+        i = self.index_in_group(router)
+        return self.arrangement.target_group(g, self.global_link_index(i, gport))
+
+    # ------------------------------------------------------------- distances
+    def minimal_hops(self, src_router: int, dst_router: int) -> int:
+        """Number of link hops on the minimal path between two routers (0..3)."""
+        if src_router == dst_router:
+            return 0
+        sg, dg = self.group_of(src_router), self.group_of(dst_router)
+        if sg == dg:
+            return 1
+        exit_idx, _ = self.exit_port(sg, dg)
+        entry_idx, _ = self.exit_port(dg, sg)
+        hops = 1  # the global hop
+        if self.index_in_group(src_router) != exit_idx:
+            hops += 1
+        if self.index_in_group(dst_router) != entry_idx:
+            hops += 1
+        return hops
+
+    def as_networkx(self):
+        """Router-level multigraph for offline analysis (needs networkx)."""
+        import networkx as nx
+
+        g = nx.MultiGraph()
+        g.add_nodes_from(range(self.num_routers))
+        for r in range(self.num_routers):
+            for q in range(self.local_ports):
+                n = self.local_neighbor(r, q)
+                if r < n:
+                    g.add_edge(r, n, kind="local")
+            for k in range(self.global_ports):
+                n, _ = self.global_neighbor(r, k)
+                if r < n:
+                    g.add_edge(r, n, kind="global")
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dragonfly(h={self.h}, p={self.p}, a={self.a}, groups={self.num_groups}, "
+            f"routers={self.num_routers}, nodes={self.num_nodes}, "
+            f"arrangement={self.arrangement.name!r})"
+        )

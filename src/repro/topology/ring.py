@@ -1,0 +1,73 @@
+"""Hamiltonian escape ring embedding (for the OFAR baseline, [12]).
+
+OFAR's deadlock avoidance uses a deadlock-free *escape subnetwork*: a
+Hamiltonian ring over all routers, regulated by bubble flow control.
+On a canonical Dragonfly the ring is embedded as: enter group ``g`` at
+the router holding the global link from group ``g-1``, snake through
+the remaining routers over local links (any order works — the local
+network is a complete graph), leave from the router holding the link to
+group ``g+1``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import Dragonfly, PortKind
+
+
+def hamiltonian_ring(topo: Dragonfly) -> dict[int, tuple[int, PortKind, int]]:
+    """Successor map ``router -> (next_router, port_kind, port_index)``.
+
+    Raises ``ValueError`` when the arrangement makes a group's entry and
+    exit router coincide (the snake construction then fails).
+    """
+    g_count = topo.num_groups
+    entry: dict[int, int] = {}
+    for g in range(g_count):
+        prev = (g - 1) % g_count
+        exit_idx, exit_gport = topo.exit_port(prev, g)
+        peer, _ = topo.global_neighbor(topo.router_id(prev, exit_idx), exit_gport)
+        entry[g] = topo.index_in_group(peer)
+
+    succ: dict[int, tuple[int, PortKind, int]] = {}
+    for g in range(g_count):
+        nxt_g = (g + 1) % g_count
+        e = entry[g]
+        x, gport = topo.exit_port(g, nxt_g)
+        if e == x and topo.a > 1:
+            raise ValueError(
+                "this global arrangement routes the ring into and out of the "
+                f"same router of group {g}; no Hamiltonian snake exists"
+            )
+        order = [e] + [i for i in range(topo.a) if i not in (e, x)] + [x]
+        for pos in range(len(order) - 1):
+            u, v = order[pos], order[pos + 1]
+            succ[topo.router_id(g, u)] = (
+                topo.router_id(g, v),
+                PortKind.LOCAL,
+                topo.local_port_to(u, v),
+            )
+        succ[topo.router_id(g, x)] = (
+            topo.router_id(nxt_g, entry[nxt_g]),
+            PortKind.GLOBAL,
+            gport,
+        )
+    return succ
+
+
+def validate_ring(topo: Dragonfly, succ: dict[int, tuple[int, PortKind, int]]) -> None:
+    """Assert the successor map is one Hamiltonian cycle over all routers."""
+    assert len(succ) == topo.num_routers, "ring must cover every router"
+    seen = set()
+    cur = 0
+    for _ in range(topo.num_routers):
+        assert cur not in seen, "ring revisits a router"
+        seen.add(cur)
+        nxt, kind, port = succ[cur]
+        if kind == PortKind.LOCAL:
+            assert topo.local_neighbor(cur, port) == nxt
+        else:
+            peer, _ = topo.global_neighbor(cur, port)
+            assert peer == nxt
+        cur = nxt
+    assert cur == 0, "ring must close"
+    assert seen == set(range(topo.num_routers))

@@ -1,0 +1,63 @@
+"""Structural validation of a Dragonfly instance.
+
+These checks are cheap relative to a simulation and are run by the test
+suite for several sizes; :func:`validate_topology` can also be called by
+users after constructing exotic ``(p, a, h)`` combinations.
+"""
+
+from __future__ import annotations
+
+from repro.topology.dragonfly import Dragonfly
+
+
+def validate_topology(topo: Dragonfly) -> None:
+    """Raise ``AssertionError`` if the topology is not a valid Dragonfly."""
+    _check_counts(topo)
+    _check_local_ports(topo)
+    _check_global_matching(topo)
+    _check_exit_tables(topo)
+
+
+def _check_counts(topo: Dragonfly) -> None:
+    assert topo.num_groups == topo.a * topo.h + 1
+    assert topo.num_routers == topo.num_groups * topo.a
+    assert topo.num_nodes == topo.num_routers * topo.p
+    assert topo.radix == topo.p + (topo.a - 1) + topo.h
+
+
+def _check_local_ports(topo: Dragonfly) -> None:
+    for i in range(topo.a):
+        seen = set()
+        for q in range(topo.local_ports):
+            j = topo.local_neighbor_index(i, q)
+            assert j != i, "local link to self"
+            assert topo.local_port_to(i, j) == q, "local port maps not inverse"
+            seen.add(j)
+        assert seen == set(range(topo.a)) - {i}, "local ports must reach all others"
+
+
+def _check_global_matching(topo: Dragonfly) -> None:
+    pair_seen: dict[tuple[int, int], int] = {}
+    for r in range(topo.num_routers):
+        for k in range(topo.global_ports):
+            peer, pport = topo.global_neighbor(r, k)
+            back, bport = topo.global_neighbor(peer, pport)
+            assert (back, bport) == (r, k), "global matching not symmetric"
+            ga, gb = topo.group_of(r), topo.group_of(peer)
+            assert ga != gb, "global link inside a group"
+            key = (min(ga, gb), max(ga, gb))
+            pair_seen[key] = pair_seen.get(key, 0) + 1
+    expected_pairs = topo.num_groups * (topo.num_groups - 1) // 2
+    assert len(pair_seen) == expected_pairs, "some group pair not connected"
+    # each unordered pair counted once per direction
+    assert all(v == 2 for v in pair_seen.values()), "duplicate global links"
+
+
+def _check_exit_tables(topo: Dragonfly) -> None:
+    for g in range(topo.num_groups):
+        for t in range(topo.num_groups):
+            if t == g:
+                continue
+            i, k = topo.exit_port(g, t)
+            r = topo.router_id(g, i)
+            assert topo.target_group_of(r, k) == t, "exit table inconsistent"

@@ -1,0 +1,36 @@
+"""Synthetic traffic: patterns (who talks to whom) and processes (when)."""
+
+from repro.traffic.patterns import (
+    TrafficPattern,
+    UniformRandom,
+    AdversarialGlobal,
+    AdversarialLocal,
+    MixedGlobalLocal,
+    pattern_by_name,
+)
+from repro.traffic.extra import (
+    BitComplement,
+    GroupTornado,
+    Hotspot,
+    NodeShift,
+    RandomPermutation,
+    TraceReplay,
+)
+from repro.traffic.processes import BernoulliTraffic, BurstTraffic
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "AdversarialGlobal",
+    "AdversarialLocal",
+    "MixedGlobalLocal",
+    "pattern_by_name",
+    "BernoulliTraffic",
+    "BurstTraffic",
+    "NodeShift",
+    "BitComplement",
+    "GroupTornado",
+    "Hotspot",
+    "RandomPermutation",
+    "TraceReplay",
+]

@@ -1,0 +1,146 @@
+"""Additional traffic patterns beyond the paper's evaluation set.
+
+These are the standard interconnect-benchmark patterns (Dally & Towles
+ch. 3) plus a hotspot generator; useful for exploring the mechanisms
+outside the paper's ADVG/ADVL envelope and for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.topology.dragonfly import Dragonfly
+from repro.traffic.patterns import TrafficPattern
+
+
+class NodeShift(TrafficPattern):
+    """Node-level shift: node ``i`` sends to node ``i + offset (mod N)``."""
+
+    name = "shift"
+
+    def __init__(self, offset: int) -> None:
+        if offset == 0:
+            raise ValueError("shift offset must be non-zero")
+        self.offset = offset
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        return (src + self.offset) % topo.num_nodes
+
+
+class BitComplement(TrafficPattern):
+    """Node ``i`` sends to node ``N-1-i`` (the bit-complement analogue)."""
+
+    name = "bitcomp"
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        d = topo.num_nodes - 1 - src
+        if d == src:  # odd-sized middle node: bounce to a neighbour
+            d = (src + 1) % topo.num_nodes
+        return d
+
+
+class GroupTornado(TrafficPattern):
+    """Group-level tornado: supernode ``g`` floods ``g + G//2``.
+
+    The worst-offset variant of ADVG: the farthest group in the palm
+    tree numbering.
+    """
+
+    name = "tornado"
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        g = topo.group_of(topo.router_of_node(src))
+        tg = (g + topo.num_groups // 2) % topo.num_groups
+        if tg == g:
+            tg = (g + 1) % topo.num_groups
+        nodes_per_group = topo.a * topo.p
+        return tg * nodes_per_group + rng.randrange(nodes_per_group)
+
+
+class Hotspot(TrafficPattern):
+    """A fraction of traffic targets a single hot node, the rest is uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, hot_node: int, fraction: float = 0.2) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.hot_node = hot_node
+        self.fraction = fraction
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        if rng.random() < self.fraction and self.hot_node != src:
+            return self.hot_node
+        d = rng.randrange(topo.num_nodes - 1)
+        return d if d < src else d + 1
+
+
+class RandomPermutation(TrafficPattern):
+    """A fixed random permutation of the nodes (drawn once per instance).
+
+    Models static job placements; every node has exactly one destination
+    so per-pair contention is persistent, unlike uniform traffic.
+    """
+
+    name = "permutation"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._perm: list[int] | None = None
+
+    def _materialize(self, topo: Dragonfly) -> list[int]:
+        if self._perm is None or len(self._perm) != topo.num_nodes:
+            rng = random.Random(self.seed)
+            n = topo.num_nodes
+            perm = list(range(n))
+            rng.shuffle(perm)
+            # derangement-ish fixups: no node maps to itself
+            for i in range(n):
+                if perm[i] == i:
+                    j = (i + 1) % n
+                    perm[i], perm[j] = perm[j], perm[i]
+            self._perm = perm
+        return self._perm
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        return self._materialize(topo)[src]
+
+
+class TraceReplay:
+    """Trace-driven injection: replay explicit ``(cycle, src, dst)`` records.
+
+    Records must be sorted by cycle.  This is the hook for driving the
+    simulator from application communication traces instead of the
+    synthetic Bernoulli sources.
+    """
+
+    def __init__(self, records) -> None:
+        self.records = sorted(records)
+        self._cursor = 0
+
+    @classmethod
+    def from_file(cls, path) -> "TraceReplay":
+        """Load a whitespace-separated ``cycle src dst`` text trace."""
+        records = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                cycle, src, dst = line.split()[:3]
+                records.append((int(cycle), int(src), int(dst)))
+        return cls(records)
+
+    def inject(self, sim, now: int) -> None:
+        recs = self.records
+        i = self._cursor
+        while i < len(recs) and recs[i][0] <= now:
+            _, src, dst = recs[i]
+            if src != dst:
+                sim.inject_packet(src, dst, now)
+            i += 1
+        self._cursor = i
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.records)

@@ -1,0 +1,115 @@
+"""Destination patterns from §IV of the paper.
+
+* **UN** — uniform random over all other nodes.
+* **ADVG+N** — every node of supernode ``i`` sends to random nodes of
+  supernode ``i + N (mod 2h^2+1)``; saturates the single global link
+  between the two groups.  ``ADVG+h`` additionally saturates a local
+  link in the *intermediate* group of Valiant paths (the pathological
+  case studied in [12]).
+* **ADVL+N** — every node of router ``i`` sends to a node of router
+  ``i + N (mod 2h)`` of the same supernode; saturates a local link.
+* **Mixed** — with probability ``p_global`` draw from ADVG+h, else from
+  ADVL+1 (Figures 6 and 9).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.topology.dragonfly import Dragonfly
+
+
+class TrafficPattern(abc.ABC):
+    """Maps a source node to a destination node (possibly randomized)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        """A destination node for ``src``; never equal to ``src``."""
+
+
+class UniformRandom(TrafficPattern):
+    """UN: uniform over every node except the source."""
+
+    name = "uniform"
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        d = rng.randrange(topo.num_nodes - 1)
+        return d if d < src else d + 1
+
+
+class AdversarialGlobal(TrafficPattern):
+    """ADVG+N: random node of supernode ``group(src) + N``."""
+
+    name = "advg"
+
+    def __init__(self, offset: int = 1) -> None:
+        if offset == 0:
+            raise ValueError("ADVG offset must be non-zero")
+        self.offset = offset
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        g = topo.group_of(topo.router_of_node(src))
+        tg = (g + self.offset) % topo.num_groups
+        nodes_per_group = topo.a * topo.p
+        return tg * nodes_per_group + rng.randrange(nodes_per_group)
+
+
+class AdversarialLocal(TrafficPattern):
+    """ADVL+N: random node of router ``index(src_router) + N`` in the same group."""
+
+    name = "advl"
+
+    def __init__(self, offset: int = 1) -> None:
+        if offset == 0:
+            raise ValueError("ADVL offset must be non-zero")
+        self.offset = offset
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        r = topo.router_of_node(src)
+        g = topo.group_of(r)
+        tgt_idx = (topo.index_in_group(r) + self.offset) % topo.a
+        if tgt_idx == topo.index_in_group(r):
+            raise ValueError("ADVL offset is a multiple of the group size")
+        tr = topo.router_id(g, tgt_idx)
+        return topo.node_id(tr, rng.randrange(topo.p))
+
+
+class MixedGlobalLocal(TrafficPattern):
+    """ADVG+h with probability ``p_global``, otherwise ADVL+1 (Figures 6/9)."""
+
+    name = "mixed"
+
+    def __init__(self, p_global: float, global_offset: int, local_offset: int = 1) -> None:
+        if not 0.0 <= p_global <= 1.0:
+            raise ValueError("p_global must be in [0, 1]")
+        self.p_global = p_global
+        self.advg = AdversarialGlobal(global_offset)
+        self.advl = AdversarialLocal(local_offset)
+
+    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+        if rng.random() < self.p_global:
+            return self.advg.dest(src, topo, rng)
+        return self.advl.dest(src, topo, rng)
+
+
+def pattern_by_name(name: str, topo: Dragonfly, **kwargs) -> TrafficPattern:
+    """Build a pattern from a spec name.
+
+    Recognised: ``uniform``, ``advg+N``, ``advl+N``, ``advg`` (N=1),
+    ``advg+h`` (N=h), ``mixed:P`` (P percent global).
+    """
+    if name == "uniform":
+        return UniformRandom()
+    if name.startswith("advg"):
+        off = name[5:] if name.startswith("advg+") else "1"
+        offset = topo.h if off == "h" else int(off or 1)
+        return AdversarialGlobal(offset)
+    if name.startswith("advl"):
+        off = name[5:] if name.startswith("advl+") else "1"
+        return AdversarialLocal(int(off or 1))
+    if name.startswith("mixed"):
+        pct = float(name.split(":", 1)[1]) if ":" in name else kwargs.get("p_global", 50.0)
+        return MixedGlobalLocal(pct / 100.0, global_offset=topo.h)
+    raise ValueError(f"unknown traffic pattern {name!r}")

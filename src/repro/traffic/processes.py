@@ -1,0 +1,69 @@
+"""Injection processes: Bernoulli open-loop sources and finite bursts."""
+
+from __future__ import annotations
+
+from repro.traffic.patterns import TrafficPattern
+
+
+class BernoulliTraffic:
+    """Open-loop Bernoulli sources (the paper's steady-state experiments).
+
+    ``load`` is the offered load in phits/(node·cycle); a node generates
+    a packet each cycle with probability ``load / packet_phits``.
+    """
+
+    def __init__(self, pattern: TrafficPattern, load: float) -> None:
+        if load < 0:
+            raise ValueError("load must be non-negative")
+        self.pattern = pattern
+        self.load = load
+
+    @property
+    def exhausted(self) -> bool:
+        """Open-loop sources never run dry (unless the load is zero)."""
+        return self.load == 0
+
+    def inject(self, sim, now: int) -> None:
+        p = self.load / sim.config.packet_phits
+        if p <= 0:
+            return
+        rng = sim.rng_traffic
+        topo = sim.topo
+        dest = self.pattern.dest
+        for node in range(topo.num_nodes):
+            if rng.random() < p:
+                d = dest(node, topo, rng)
+                if d != node:
+                    sim.inject_packet(node, d, now)
+
+
+class BurstTraffic:
+    """Burst-consumption experiment: each node queues a burst at cycle 0.
+
+    The paper's Figures 6b/9b inject 1000 (VCT) or 89 (WH) packets per
+    node and report the cycles needed to drain the network completely.
+    """
+
+    def __init__(self, pattern: TrafficPattern, packets_per_node: int) -> None:
+        if packets_per_node < 1:
+            raise ValueError("packets_per_node must be positive")
+        self.pattern = pattern
+        self.packets_per_node = packets_per_node
+        self._injected = False
+
+    @property
+    def exhausted(self) -> bool:
+        return self._injected
+
+    def inject(self, sim, now: int) -> None:
+        if self._injected:
+            return
+        self._injected = True
+        rng = sim.rng_traffic
+        topo = sim.topo
+        dest = self.pattern.dest
+        for node in range(topo.num_nodes):
+            for _ in range(self.packets_per_node):
+                d = dest(node, topo, rng)
+                if d != node:
+                    sim.inject_packet(node, d, now)

@@ -1,0 +1,89 @@
+"""Channel-dependency-graph verification of the paper's §III claims."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.cdg import (
+    build_cdg,
+    cycle_witness,
+    escape_reachable,
+    is_deadlock_free,
+)
+from repro.topology import Dragonfly
+
+TOPO = Dragonfly(2)
+
+
+@pytest.mark.parametrize("mechanism", ["minimal", "valiant", "pb", "par62", "rlm"])
+def test_full_cdg_acyclic(mechanism):
+    """All mechanisms but OLM have an acyclic full dependency graph."""
+    assert is_deadlock_free(TOPO, mechanism)
+    assert cycle_witness(TOPO, mechanism) is None
+
+
+def test_rlm_without_restriction_has_cycles():
+    """The counterfactual: unrestricted same-VC local misrouting deadlocks."""
+    cycle = cycle_witness(TOPO, "rlm", rlm_restricted=False)
+    assert cycle is not None
+    # the witness cycle lives on local channels of one group, as §III-B argues
+    kinds = {edge[0][0] for edge in cycle}
+    assert kinds == {"L"}
+    groups = {TOPO.group_of(edge[0][1]) for edge in cycle}
+    assert len(groups) == 1
+
+
+def test_olm_full_graph_is_cyclic_by_design():
+    cycle = cycle_witness(TOPO, "olm")
+    assert cycle is not None
+
+
+def test_olm_escape_graph_is_dag_and_reachable():
+    escape = build_cdg(TOPO, "olm", escape_only=True)
+    assert nx.is_directed_acyclic_graph(escape)
+    assert escape_reachable(TOPO)
+    assert is_deadlock_free(TOPO, "olm")
+
+
+def test_unknown_mechanism_rejected():
+    with pytest.raises(ValueError):
+        build_cdg(TOPO, "ofar")
+
+
+@pytest.mark.parametrize("h", [1, 3])
+def test_cdg_scales_with_h(h):
+    topo = Dragonfly(h)
+    assert is_deadlock_free(topo, "rlm")
+    assert is_deadlock_free(topo, "olm")
+
+
+def test_cdg_node_population():
+    g = build_cdg(TOPO, "minimal")
+    a, groups = TOPO.a, TOPO.num_groups
+    n_local = groups * a * (a - 1) * 3          # ordered pairs x 3 VCs
+    n_global = TOPO.num_routers * TOPO.h * 2    # directed global channels x 2 VCs
+    n_eject = TOPO.num_routers
+    assert g.number_of_nodes() == n_local + n_global + n_eject
+
+
+def test_ejection_nodes_are_sinks():
+    g = build_cdg(TOPO, "rlm")
+    for node in g.nodes:
+        if node[0] == "EJ":
+            assert g.out_degree(node) == 0
+
+
+def test_par62_rank_edges_ascend():
+    """Every PAR-6/2 dependency increases the Günther rank."""
+    lrank = [0, 1, 3, 4, 6, 7]
+    grank = [2, 5]
+
+    def rank(node):
+        if node[0] == "L":
+            return lrank[node[3]]
+        if node[0] == "G":
+            return grank[node[3]]
+        return 99
+
+    g = build_cdg(TOPO, "par62")
+    for u, v in g.edges:
+        assert rank(v) > rank(u), (u, v)

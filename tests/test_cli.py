@@ -1,0 +1,44 @@
+"""CLI behaviour."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_parser_rejects_no_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a" in out and "tab1" in out and "fig9b" in out
+
+
+def test_run_tab1(capsys):
+    assert main(["run", "tab1"]) == 0
+    out = capsys.readouterr().out
+    assert "parity-sign" in out
+    assert "odd-" in out
+
+
+def test_run_with_json_output(tmp_path, capsys):
+    path = tmp_path / "tab1.json"
+    assert main(["run", "tab1", "--json", str(path)]) == 0
+    data = json.loads(path.read_text())
+    assert data["id"] == "tab1"
+    capsys.readouterr()
+
+
+def test_run_json_dir(tmp_path, capsys):
+    assert main(["run", "tab1", "--json-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "tab1.json").exists()
+    capsys.readouterr()
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(ValueError):
+        main(["run", "figZZ"])

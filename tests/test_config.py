@@ -1,0 +1,44 @@
+"""SimConfig validation and presets."""
+
+import pytest
+
+from repro.network.config import SimConfig, paper_vct_config, paper_wh_config
+
+
+def test_defaults_follow_paper():
+    cfg = SimConfig()
+    assert cfg.local_latency == 10
+    assert cfg.global_latency == 100
+    assert cfg.local_buffer_phits == 32
+    assert cfg.global_buffer_phits == 256
+    assert cfg.local_vcs == 3 and cfg.global_vcs == 2
+    assert cfg.threshold == 0.45
+    assert cfg.pb_update_period == cfg.local_latency
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SimConfig(flow_control="bubble")
+    with pytest.raises(ValueError):
+        SimConfig(packet_phits=0)
+    with pytest.raises(ValueError):
+        SimConfig(threshold=-0.1)
+
+
+def test_with_copies():
+    cfg = SimConfig(h=2, routing="rlm")
+    cfg2 = cfg.with_(threshold=0.6)
+    assert cfg2.threshold == 0.6 and cfg.threshold == 0.45
+    assert cfg2.routing == "rlm"
+
+
+def test_paper_presets():
+    v = paper_vct_config(h=3, routing="olm")
+    assert (v.flow_control, v.packet_phits, v.h) == ("vct", 8, 3)
+    w = paper_wh_config(h=3)
+    assert (w.flow_control, w.packet_phits, w.flit_phits) == ("wh", 80, 10)
+
+
+def test_explicit_pb_update_period_kept():
+    cfg = SimConfig(pb_update_period=25)
+    assert cfg.pb_update_period == 25

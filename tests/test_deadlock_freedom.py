@@ -1,0 +1,81 @@
+"""Deadlock-freedom stress tests.
+
+Small buffers + high adversarial load + long runs; every configuration
+must keep making progress (the engine raises DeadlockError otherwise)
+and fully drain once sources stop.  These runs exercise exactly the
+cyclic-dependency scenarios the paper's mechanisms are designed for.
+"""
+
+import pytest
+
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator
+from repro.traffic.patterns import AdversarialGlobal, AdversarialLocal, MixedGlobalLocal
+from repro.traffic.processes import BernoulliTraffic
+
+STRESS_PATTERNS = [
+    AdversarialGlobal(1),
+    AdversarialGlobal(2),
+    AdversarialLocal(1),
+    MixedGlobalLocal(0.5, global_offset=2),
+]
+
+
+def stress(routing, flow_control, pattern, seed, *, packet=8, flit=4):
+    # Buffers sized to be tight (2 flow-control units locally) while keeping
+    # global links usable: far below the ~200-cycle global round trip the
+    # drain is merely glacial, which is not what this test is about.
+    unit = packet if flow_control == "vct" else flit
+    cfg = SimConfig(
+        h=2, routing=routing, flow_control=flow_control,
+        packet_phits=packet, flit_phits=flit,
+        local_buffer_phits=2 * unit,
+        global_buffer_phits=8 * unit,
+        seed=seed, deadlock_window=4000,
+    )
+    sim = Simulator(cfg, BernoulliTraffic(pattern, 1.0))
+    sim.run(2000)  # would raise DeadlockError on a cycle
+    sim.traffic = None
+    sim.run_until_drained(600000)
+    assert sim.stats.delivered == sim.stats.generated
+
+
+@pytest.mark.parametrize("pattern", STRESS_PATTERNS, ids=lambda p: p.name + str(getattr(p, "offset", "")))
+@pytest.mark.parametrize("routing", ["minimal", "valiant", "pb", "par62", "rlm", "olm"])
+def test_vct_no_deadlock_tight_buffers(routing, pattern):
+    stress(routing, "vct", pattern, seed=13)
+
+
+@pytest.mark.parametrize("pattern", STRESS_PATTERNS, ids=lambda p: p.name + str(getattr(p, "offset", "")))
+@pytest.mark.parametrize("routing", ["minimal", "valiant", "pb", "par62", "rlm"])
+def test_wh_no_deadlock_tight_buffers(routing, pattern):
+    """Wormhole with multi-flit packets: the extended-dependency case."""
+    stress(routing, "wh", pattern, seed=17, packet=16, flit=4)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_rlm_wh_seeds(seed):
+    """RLM under WH is the paper's headline safety claim; vary seeds."""
+    stress("rlm", "wh", AdversarialGlobal(2), seed=seed, packet=16, flit=4)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_olm_vct_seeds(seed):
+    """OLM creates cycles by design; the escape path must always resolve them."""
+    stress("olm", "vct", AdversarialGlobal(2), seed=seed)
+
+
+def test_deadlock_detector_fires_on_artificial_stall():
+    """Sanity-check the watchdog itself: strangle a sim and expect the error."""
+    from repro.network.simulator import DeadlockError
+
+    cfg = SimConfig(h=2, routing="minimal", deadlock_window=50, seed=1)
+    sim = Simulator(cfg)
+    pkt_dst = sim.topo.node_id(1, 0)
+    sim.inject_packet(0, pkt_dst)
+    # freeze every output port forever: no grant can ever happen
+    for router in sim.routers:
+        for out in router.outputs:
+            out.busy_until = 10**9
+    with pytest.raises(DeadlockError):
+        sim.run(1000)

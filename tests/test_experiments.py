@@ -1,0 +1,126 @@
+"""Experiment harness: sweeps, registry, reporting, persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.presets import SCALES, get_scale
+from repro.experiments.registry import ExperimentSpec
+from repro.experiments.reporting import (
+    format_result,
+    load_result,
+    save_result,
+    summarize_saturation,
+)
+from repro.experiments.sweeps import (
+    burst_drain,
+    load_sweep,
+    mixed_sweep,
+    run_point,
+    saturation_throughput,
+    threshold_sweep,
+)
+from repro.network.config import paper_vct_config
+
+
+def test_registry_covers_every_figure_and_table():
+    expected = {
+        "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
+        "fig6a", "fig6b", "fig7a", "fig7b", "fig7c",
+        "fig8a", "fig8b", "fig8c", "fig9a", "fig9b",
+        "fig10", "fig11", "tab1",
+    }
+    assert set(EXPERIMENTS) == expected
+    for spec in EXPERIMENTS.values():
+        assert isinstance(spec, ExperimentSpec)
+        assert spec.description
+
+
+def test_scales_defined():
+    for name in ("tiny", "smoke", "small", "paper"):
+        assert name in SCALES
+    assert get_scale("tiny").h == 2
+    assert get_scale(SCALES["tiny"]) is SCALES["tiny"]
+    with pytest.raises(ValueError):
+        get_scale("galactic")
+
+
+def test_run_point_record_shape():
+    cfg = paper_vct_config(h=2, routing="minimal", seed=1)
+    rec = run_point(cfg, "uniform", 0.2, warmup=400, measure=400)
+    assert rec["routing"] == "minimal"
+    assert rec["pattern"] == "uniform"
+    assert rec["load"] == 0.2
+    assert 0 < rec["throughput"] <= 0.25
+    assert rec["mean_latency"] > 100
+
+
+def test_load_sweep_monotone_low_loads():
+    cfg = paper_vct_config(h=2, routing="minimal", seed=1)
+    pts = load_sweep(cfg, "uniform", (0.1, 0.3), warmup=400, measure=400)
+    assert pts[1]["throughput"] > pts[0]["throughput"]
+    assert saturation_throughput(pts) == max(p["throughput"] for p in pts)
+    assert saturation_throughput([]) == 0.0
+
+
+def test_mixed_sweep_records():
+    cfg = paper_vct_config(h=2, routing="rlm", seed=1)
+    pts = mixed_sweep(cfg, (0, 100), 1.0, warmup=400, measure=400)
+    assert [p["global_pct"] for p in pts] == [0, 100]
+    assert all(p["throughput"] > 0 for p in pts)
+
+
+def test_burst_drain_records():
+    cfg = paper_vct_config(h=2, routing="olm", seed=1)
+    pts = burst_drain(cfg, (50,), packets_per_node=5, max_cycles=500000)
+    assert pts[0]["drain_cycles"] > 0
+    assert pts[0]["delivered"] == 5 * 72  # h=2: 72 nodes
+
+
+def test_threshold_sweep_keys():
+    cfg = paper_vct_config(h=2, routing="rlm", seed=1)
+    res = threshold_sweep(cfg, (0.3, 0.6), "uniform", (0.2,), warmup=300, measure=300)
+    assert set(res) == {0.3, 0.6}
+
+
+def test_run_experiment_tab1():
+    res = run_experiment("tab1")
+    rows = res["series"]["parity-sign"]
+    assert len(rows) == 16
+    assert sum(r["allowed"] for r in rows) == 10
+    assert res["id"] == "tab1"
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_run_experiment_smoke_figure():
+    res = run_experiment("fig5a", scale="smoke", seed=2)
+    assert res["metric"] == "throughput"
+    assert set(res["series"]) == {"par62", "olm", "rlm", "minimal", "pb"}
+    sat = summarize_saturation(res)
+    assert all(v > 0 for v in sat.values())
+
+
+def test_reporting_roundtrip(tmp_path):
+    res = run_experiment("tab1")
+    path = tmp_path / "sub" / "tab1.json"
+    save_result(res, path)
+    again = load_result(path)
+    assert again["id"] == "tab1"
+    assert json.loads(path.read_text())["metric"] == "allowed"
+    text = format_result(res)
+    assert "tab1" in text and "odd-" in text and "NO" in text
+
+
+def test_format_result_numeric_table():
+    res = {
+        "id": "fig5a", "description": "demo", "scale": "tiny",
+        "metric": "throughput",
+        "series": {"olm": [{"load": 0.1, "throughput": 0.099}]},
+    }
+    text = format_result(res)
+    assert "olm" in text and "0.099" in text

@@ -1,0 +1,79 @@
+"""StatsCollector arithmetic and the misrouting trigger."""
+
+import math
+
+import pytest
+
+from repro.core.trigger import MisroutingTrigger
+from repro.metrics.collector import StatsCollector
+from repro.network.packet import Packet
+
+
+def pkt(size=8, birth=0):
+    p = Packet(0, 0, 9, size, birth, 0, 0, 4, 1)
+    return p
+
+
+def test_collector_empty_readouts():
+    c = StatsCollector()
+    assert math.isnan(c.mean_latency())
+    assert math.isnan(c.mean_hops())
+    assert c.throughput(10, 100) == 0.0
+    assert c.throughput(10, 0) == 0.0
+
+
+def test_collector_accumulates():
+    c = StatsCollector()
+    c.reset(100)
+    p1, p2 = pkt(birth=100), pkt(birth=120)
+    p1.local_hops_total, p1.g_hops = 2, 1
+    p2.global_misrouted = True
+    p2.local_misroutes = 2
+    c.on_generated(p1)
+    c.on_generated(p2)
+    c.on_delivered(p1, 150)  # latency 50
+    c.on_delivered(p2, 200)  # latency 80
+    assert c.generated == 2 and c.delivered == 2
+    assert c.mean_latency() == pytest.approx(65.0)
+    assert c.latency_max == 80
+    assert c.delivered_phits == 16
+    # throughput over window [100, 200) with 4 nodes
+    assert c.throughput(4, 200) == pytest.approx(16 / (4 * 100))
+    assert c.local_misroute_rate() == pytest.approx(1.0)
+    assert c.global_misroute_fraction() == pytest.approx(0.5)
+    assert c.mean_hops() == pytest.approx(1.5)
+
+
+def test_collector_reset_zeroes():
+    c = StatsCollector()
+    c.on_generated(pkt())
+    c.on_delivered(pkt(), 10)
+    c.reset(500)
+    assert c.generated == 0 and c.delivered == 0
+    assert c.window_start == 500
+
+
+def test_collector_as_dict_keys():
+    c = StatsCollector()
+    d = c.as_dict(4, 100)
+    for key in ("generated", "delivered", "mean_latency", "throughput",
+                "local_misroute_rate", "global_misroute_fraction", "mean_hops"):
+        assert key in d
+
+
+def test_trigger_semantics():
+    t = MisroutingTrigger(0.45)
+    assert not t.allows(0, 0)       # empty minimal queue: never misroute
+    assert t.allows(100, 44)        # candidate clearly emptier
+    assert not t.allows(100, 45)    # at the threshold: no
+    assert not t.allows(100, 90)
+    assert MisroutingTrigger(1.0).allows(10, 9)
+    with pytest.raises(ValueError):
+        MisroutingTrigger(-0.2)
+
+
+def test_trigger_threshold_monotonicity():
+    lo, hi = MisroutingTrigger(0.3), MisroutingTrigger(0.6)
+    for occ in range(0, 100, 7):
+        if lo.allows(100, occ):
+            assert hi.allows(100, occ)  # higher threshold always allows more

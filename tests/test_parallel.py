@@ -1,0 +1,62 @@
+"""Parallel sweep execution: identical results, any pool size."""
+
+import pytest
+
+from repro.experiments.parallel import (
+    default_workers,
+    parallel_load_sweep,
+    parallel_multi_sweep,
+    run_points,
+)
+from repro.experiments.sweeps import load_sweep
+from repro.network.config import paper_vct_config
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_parallel_matches_serial():
+    cfg = paper_vct_config(h=2, routing="minimal", seed=3)
+    loads = (0.1, 0.3)
+    serial = load_sweep(cfg, "uniform", loads, warmup=300, measure=300)
+    par = parallel_load_sweep(cfg, "uniform", loads, warmup=300, measure=300, workers=2)
+    assert par == serial
+
+
+def test_run_points_order_preserved():
+    cfg = paper_vct_config(h=2, routing="minimal", seed=1)
+    tasks = [(cfg, "uniform", load, 200, 200) for load in (0.3, 0.1, 0.2)]
+    results = run_points(tasks, workers=3)
+    assert [r["load"] for r in results] == [0.3, 0.1, 0.2]
+
+
+def test_run_points_serial_path():
+    cfg = paper_vct_config(h=2, routing="minimal", seed=1)
+    results = run_points([(cfg, "uniform", 0.1, 200, 200)], workers=4)
+    assert len(results) == 1  # single task short-circuits the pool
+
+
+def test_parallel_multi_sweep_series():
+    loads = (0.1, 0.2)
+    spec = [
+        (name, paper_vct_config(h=2, routing=name, seed=2), "advg+1")
+        for name in ("minimal", "valiant")
+    ]
+    series = parallel_multi_sweep(spec, loads, warmup=250, measure=250, workers=2)
+    assert set(series) == {"minimal", "valiant"}
+    for pts in series.values():
+        assert [p["load"] for p in pts] == list(loads)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_figure_runner_workers_equivalent(workers):
+    from repro.experiments import run_experiment
+
+    res = run_experiment("fig5b", scale="smoke", seed=4, workers=workers)
+    sat = {m: max(p["throughput"] for p in pts) for m, pts in res["series"].items()}
+    assert all(v > 0 for v in sat.values())
+    if workers == 1:
+        test_figure_runner_workers_equivalent.cache = res  # type: ignore[attr-defined]
+    else:
+        assert res == test_figure_runner_workers_equivalent.cache  # type: ignore[attr-defined]

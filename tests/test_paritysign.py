@@ -1,0 +1,166 @@
+"""Parity-sign restriction (Table I) unit + property tests."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paritysign import (
+    CANONICAL_ORDER,
+    EVEN_MINUS,
+    EVEN_PLUS,
+    ODD_MINUS,
+    ODD_PLUS,
+    allowed_intermediates,
+    build_allowed_table,
+    hop_pair_allowed,
+    link_type,
+    min_route_guarantee,
+    pair_allowed,
+)
+
+# The paper's Table I, verbatim: (first, second) -> allowed
+PAPER_TABLE_I = {
+    (ODD_MINUS, EVEN_PLUS): True,
+    (ODD_MINUS, EVEN_MINUS): True,
+    (ODD_MINUS, ODD_PLUS): True,
+    (ODD_MINUS, ODD_MINUS): True,
+    (EVEN_PLUS, EVEN_PLUS): True,
+    (EVEN_PLUS, EVEN_MINUS): True,
+    (EVEN_PLUS, ODD_PLUS): True,
+    (EVEN_PLUS, ODD_MINUS): False,
+    (ODD_PLUS, EVEN_PLUS): False,
+    (ODD_PLUS, EVEN_MINUS): True,
+    (ODD_PLUS, ODD_PLUS): True,
+    (ODD_PLUS, ODD_MINUS): False,
+    (EVEN_MINUS, EVEN_PLUS): False,
+    (EVEN_MINUS, EVEN_MINUS): True,
+    (EVEN_MINUS, ODD_PLUS): False,
+    (EVEN_MINUS, ODD_MINUS): False,
+}
+
+
+def test_table_matches_paper_exactly():
+    for (t1, t2), allowed in PAPER_TABLE_I.items():
+        assert pair_allowed(t1, t2) == allowed, (t1, t2)
+
+
+def test_link_type_classification():
+    assert link_type(3, 6) == ODD_PLUS      # 3->6: different parity, ascending
+    assert link_type(6, 3) == ODD_MINUS
+    assert link_type(5, 2) == ODD_MINUS     # the paper's odd example (5-2)
+    assert link_type(1, 7) == EVEN_PLUS     # the paper's even example (1-7)
+    assert link_type(7, 1) == EVEN_MINUS
+    assert link_type(0, 2) == EVEN_PLUS
+    with pytest.raises(ValueError):
+        link_type(4, 4)
+
+
+def test_paper_figure2_examples():
+    # combination 1: 0 -> 1 through 5 — forbidden under sign-only, but the
+    # parity-sign table decides by types: (0->5) odd+, (5->1) even-
+    assert pair_allowed(link_type(0, 5), link_type(5, 1))
+    # combination 2: 5 -> 0 through 1 is [even-, odd-]: forbidden
+    assert not hop_pair_allowed(5, 1, 0)
+    # valid alternatives from 5 to 0: via 2 and 4 ([odd-, odd-]) and 6 ([odd+, odd-])
+    assert hop_pair_allowed(5, 2, 0)
+    assert hop_pair_allowed(5, 4, 0)
+    assert hop_pair_allowed(5, 6, 0)
+    assert allowed_intermediates(5, 0, 8) == (2, 4, 6)
+
+
+@pytest.mark.parametrize("a", [4, 6, 8, 10, 12, 16])
+def test_route_count_guarantee(a):
+    """At least h-1 = a/2-1 two-hop routes between every pair (paper claim)."""
+    assert min_route_guarantee(a) >= a // 2 - 1
+
+
+@pytest.mark.parametrize("order", list(itertools.permutations(range(4))))
+def test_construction_any_order_consistent(order):
+    """The marking procedure fully decides the table for any type order."""
+    table = build_allowed_table(order)
+    # same-type pairs always allowed
+    for t in range(4):
+        assert table[t][t]
+    # exactly 10 allowed / 6 forbidden for every order
+    assert sum(cell for row in table for cell in row) == 10
+    # pair (x, y) with x != y: allowed iff x comes before y in the order
+    pos = {t: i for i, t in enumerate(order)}
+    for x in range(4):
+        for y in range(4):
+            if x != y:
+                assert table[x][y] == (pos[x] < pos[y])
+
+
+def test_construction_rejects_bad_order():
+    with pytest.raises(ValueError):
+        build_allowed_table((0, 1, 2, 2))
+
+
+@pytest.mark.parametrize("a", [4, 6, 8, 10])
+def test_channel_dependency_graph_acyclic(a):
+    """The deadlock-freedom core: allowed 2-hop chains cannot loop.
+
+    Nodes are directed local links (i, j); an edge (i,j) -> (j,k) exists
+    when Table I allows the combination.  RLM is deadlock-free inside a
+    supernode iff this dependency graph is a DAG.
+    """
+    g = nx.DiGraph()
+    for i in range(a):
+        for j in range(a):
+            if i != j:
+                g.add_node((i, j))
+    for i, j, k in itertools.permutations(range(a), 3):
+        if pair_allowed(link_type(i, j), link_type(j, k)):
+            g.add_edge((i, j), (j, k))
+    assert nx.is_directed_acyclic_graph(g)
+
+
+def test_sign_only_is_unbalanced():
+    """The paper's motivation for parity-sign: sign-only starves some pairs.
+
+    Forbidding (+,-) leaves zero non-minimal routes from 0 to 1 (all 2-hop
+    routes 0->k->1 with k>1 are (+,-)), while 0 to a-1 keeps many.
+    """
+    a = 8
+
+    def sign_only_allowed(i, k, j):
+        first_positive = k > i
+        second_positive = j > k
+        return not (first_positive and not second_positive)  # forbid (+, -)
+
+    routes_0_1 = [k for k in range(2, a) if sign_only_allowed(0, k, 1)]
+    assert routes_0_1 == []  # every 0->k->1 is (+,-): starved pair
+    routes_0_7 = [k for k in range(1, a - 1) if sign_only_allowed(0, k, a - 1)]
+    assert len(routes_0_7) == a - 2  # every 0->k->7 is (+,+): maximal pair
+
+
+@given(
+    a=st.sampled_from([4, 6, 8, 10, 12]),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_allowed_intermediates_properties(a, data):
+    i = data.draw(st.integers(0, a - 1))
+    j = data.draw(st.integers(0, a - 1).filter(lambda x: x != i))
+    inter = allowed_intermediates(i, j, a)
+    assert i not in inter and j not in inter
+    assert len(set(inter)) == len(inter)
+    assert len(inter) >= a // 2 - 1
+    for k in inter:
+        assert hop_pair_allowed(i, k, j)
+
+
+@given(i=st.integers(0, 31), j=st.integers(0, 31))
+@settings(max_examples=100, deadline=None)
+def test_link_type_antisymmetry(i, j):
+    """Reversing a hop flips the sign and keeps the parity."""
+    if i == j:
+        return
+    t, r = link_type(i, j), link_type(j, i)
+    sign_of = {ODD_PLUS: 1, EVEN_PLUS: 1, ODD_MINUS: -1, EVEN_MINUS: -1}
+    odd_of = {ODD_PLUS: True, ODD_MINUS: True, EVEN_PLUS: False, EVEN_MINUS: False}
+    assert sign_of[t] == -sign_of[r]
+    assert odd_of[t] == odd_of[r]

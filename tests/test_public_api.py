@@ -1,0 +1,91 @@
+"""Public API surface: imports, exports, docstrings."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.topology",
+    "repro.topology.dragonfly",
+    "repro.topology.arrangements",
+    "repro.topology.ring",
+    "repro.topology.validate",
+    "repro.network",
+    "repro.network.config",
+    "repro.network.packet",
+    "repro.network.flowcontrol",
+    "repro.network.buffers",
+    "repro.network.ports",
+    "repro.network.router",
+    "repro.network.simulator",
+    "repro.core",
+    "repro.core.base",
+    "repro.core.paritysign",
+    "repro.core.trigger",
+    "repro.core.minimal",
+    "repro.core.valiant",
+    "repro.core.piggyback",
+    "repro.core.par",
+    "repro.core.rlm",
+    "repro.core.olm",
+    "repro.core.ofar",
+    "repro.traffic",
+    "repro.traffic.patterns",
+    "repro.traffic.processes",
+    "repro.traffic.extra",
+    "repro.metrics",
+    "repro.metrics.collector",
+    "repro.metrics.statistics",
+    "repro.metrics.probes",
+    "repro.analysis",
+    "repro.analysis.bounds",
+    "repro.analysis.cdg",
+    "repro.experiments",
+    "repro.experiments.presets",
+    "repro.experiments.sweeps",
+    "repro.experiments.figures",
+    "repro.experiments.registry",
+    "repro.experiments.reporting",
+    "repro.experiments.parallel",
+    "repro.experiments.svgplot",
+    "repro.experiments.cli",
+]
+
+
+@pytest.mark.parametrize("module", PUBLIC_MODULES)
+def test_module_imports_and_documented(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module} lacks a docstring"
+
+
+def test_top_level_exports_resolve():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version_string():
+    import repro
+
+    major, *_ = repro.__version__.split(".")
+    assert major.isdigit()
+
+
+@pytest.mark.parametrize("package", ["repro.core", "repro.traffic", "repro.metrics",
+                                     "repro.analysis", "repro.experiments",
+                                     "repro.topology", "repro.network"])
+def test_subpackage_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name) is not None, f"{package}.{name}"
+
+
+def test_public_classes_have_docstrings():
+    from repro.core import ROUTING_REGISTRY
+
+    for cls in ROUTING_REGISTRY.values():
+        assert cls.__doc__
+        assert any(getattr(base, "decide", None) and base.decide.__doc__
+                   for base in cls.__mro__)

@@ -1,0 +1,52 @@
+"""Routing registry and mechanism class properties."""
+
+import pytest
+
+from repro.core import (
+    ROUTING_REGISTRY,
+    MinimalRouting,
+    OfarRouting,
+    OlmRouting,
+    Par62Routing,
+    PiggybackingRouting,
+    RlmRouting,
+    ValiantRouting,
+    routing_by_name,
+)
+
+
+def test_registry_contents():
+    assert ROUTING_REGISTRY == {
+        "minimal": MinimalRouting,
+        "valiant": ValiantRouting,
+        "pb": PiggybackingRouting,
+        "par62": Par62Routing,
+        "rlm": RlmRouting,
+        "olm": OlmRouting,
+        "ofar": OfarRouting,
+    }
+
+
+def test_lookup():
+    assert routing_by_name("olm") is OlmRouting
+    with pytest.raises(ValueError, match="unknown routing"):
+        routing_by_name("ugal")
+
+
+def test_vc_budgets_match_paper():
+    """3/2 VCs for the paper's mechanisms; PAR-6/2 needs 6/2; the OFAR
+    baseline embeds its escape ring as one extra VC per port (4/3)."""
+    budgets = {name: (cls.local_vcs, cls.global_vcs)
+               for name, cls in ROUTING_REGISTRY.items()}
+    assert budgets == {
+        "minimal": (3, 2), "valiant": (3, 2), "pb": (3, 2),
+        "rlm": (3, 2), "olm": (3, 2),
+        "par62": (6, 2),
+        "ofar": (4, 3),
+    }
+
+
+def test_vct_requirements():
+    """OLM and OFAR need whole-packet reservation; everything else is WH-safe."""
+    for name, cls in ROUTING_REGISTRY.items():
+        assert cls.requires_vct == (name in ("olm", "ofar")), name

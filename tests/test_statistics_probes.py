@@ -1,0 +1,123 @@
+"""Batch means, saturation detection and runtime probes."""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.statistics import (
+    batch_means,
+    compare_series,
+    saturation_point,
+    steady_state_reached,
+    t_quantile_975,
+)
+from repro.metrics.probes import ThroughputProbe, injection_backlog, occupancy_snapshot
+from repro.traffic.patterns import AdversarialGlobal, UniformRandom
+from repro.traffic.processes import BernoulliTraffic
+
+from tests.helpers import build_sim
+
+
+def test_t_quantiles():
+    assert t_quantile_975(1) == pytest.approx(12.706)
+    assert t_quantile_975(30) == pytest.approx(2.042)
+    assert t_quantile_975(1000) == pytest.approx(1.96)
+    with pytest.raises(ValueError):
+        t_quantile_975(0)
+
+
+def test_batch_means_constant_stream():
+    r = batch_means([5.0] * 100, num_batches=10)
+    assert r.mean == pytest.approx(5.0)
+    assert r.half_width == pytest.approx(0.0)
+    assert r.ci == (5.0, 5.0)
+
+
+def test_batch_means_covers_true_mean():
+    rng = random.Random(0)
+    hits = 0
+    for trial in range(30):
+        samples = [rng.gauss(10.0, 2.0) for _ in range(400)]
+        r = batch_means(samples, num_batches=10)
+        if r.ci[0] <= 10.0 <= r.ci[1]:
+            hits += 1
+    assert hits >= 25  # ~95% coverage, generous slack
+
+
+def test_batch_means_validation():
+    with pytest.raises(ValueError):
+        batch_means([1.0, 2.0], num_batches=1)
+    with pytest.raises(ValueError):
+        batch_means([1.0], num_batches=2)
+
+
+def test_relative_error():
+    r = batch_means([10.0, 10.0, 12.0, 12.0, 10.0, 12.0, 11.0, 11.0], 4)
+    assert 0 <= r.relative_error() < 1
+
+
+def test_saturation_point():
+    pts = [
+        {"load": 0.1, "throughput": 0.1},
+        {"load": 0.3, "throughput": 0.295},
+        {"load": 0.5, "throughput": 0.42},
+        {"load": 0.7, "throughput": 0.44},
+    ]
+    s = saturation_point(pts)
+    assert s["onset_load"] == 0.3
+    assert s["max_throughput"] == 0.44
+    assert s["max_throughput_load"] == 0.7
+    with pytest.raises(ValueError):
+        saturation_point([])
+
+
+def test_compare_series():
+    a = [{"throughput": 0.62}]
+    b = [{"throughput": 0.50}]
+    c = compare_series(a, b)
+    assert c["improvement_pct"] == pytest.approx(24.0)
+    assert compare_series(a, [{"throughput": 0.0}])["ratio"] == math.inf
+
+
+def test_steady_state_reached():
+    assert steady_state_reached([0.5, 0.49, 0.51, 0.5, 0.5], window=5)
+    assert not steady_state_reached([0.1, 0.2, 0.3, 0.4, 0.5], window=5)
+    assert not steady_state_reached([0.5, 0.5], window=5)
+    assert steady_state_reached([0.0] * 6, window=5)
+
+
+def test_throughput_probe_converges():
+    sim = build_sim("minimal", record_hops=False)
+    sim.traffic = BernoulliTraffic(UniformRandom(), 0.4)
+    probe = ThroughputProbe(sim, interval=400)
+    series = probe.run(4800)
+    assert len(series) == 12
+    # after warm-up the interval throughput approaches the offered load
+    assert series[-1] == pytest.approx(0.4, rel=0.3)
+    assert steady_state_reached(series, window=4, rel_tolerance=0.3)
+    with pytest.raises(ValueError):
+        ThroughputProbe(sim, interval=0)
+
+
+def test_occupancy_snapshot_finds_advg_hotspot():
+    sim = build_sim("minimal", record_hops=False)
+    sim.traffic = BernoulliTraffic(AdversarialGlobal(1), 0.6)
+    sim.run(2500)
+    snap = occupancy_snapshot(sim)
+    assert snap["hottest_fraction"] > snap["global_mean"]
+    assert snap["hottest_link"] is not None
+    # ADVG saturates global links: the hotspot must be a global port
+    from repro.topology.dragonfly import PortKind
+
+    assert snap["hottest_link"][1] == int(PortKind.GLOBAL)
+
+
+def test_injection_backlog_grows_past_saturation():
+    sim = build_sim("minimal", record_hops=False)
+    sim.traffic = BernoulliTraffic(AdversarialGlobal(1), 0.9)
+    sim.run(800)
+    early = injection_backlog(sim)["total_phits"]
+    sim.run(2000)
+    late = injection_backlog(sim)["total_phits"]
+    assert late > early > 0

@@ -1,0 +1,87 @@
+"""SVG chart renderer tests."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.svgplot import LineChart, _nice_ticks, chart_from_result
+
+
+def sample_chart():
+    c = LineChart("demo", "x", "y")
+    c.add_series("olm", [(0.1, 110.0), (0.3, 130.0), (0.5, 170.0)])
+    c.add_series("pb", [(0.1, 115.0), (0.3, 150.0)])
+    return c
+
+
+def test_svg_is_valid_xml():
+    svg = sample_chart().to_svg()
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_svg_contains_series_and_labels():
+    svg = sample_chart().to_svg()
+    for token in ("olm", "pb", "demo", "<path", "<circle"):
+        assert token in svg
+
+
+def test_nan_points_dropped():
+    c = LineChart("t", "x", "y")
+    c.add_series("s", [(0.1, float("nan")), (0.2, 1.0), (0.3, 2.0)])
+    assert len(c.series[0][1]) == 2
+    c.to_svg()  # must not raise
+
+
+def test_empty_series_ignored_and_empty_chart_rejected():
+    c = LineChart("t", "x", "y")
+    c.add_series("all-nan", [(0.1, float("nan"))])
+    assert c.series == []
+    with pytest.raises(ValueError):
+        c.to_svg()
+
+
+def test_single_point_series_renders():
+    c = LineChart("t", "x", "y")
+    c.add_series("s", [(0.5, 3.0)])
+    ET.fromstring(c.to_svg())
+
+
+def test_nice_ticks_cover_range():
+    ticks = _nice_ticks(0.0, 1.0)
+    assert ticks[0] >= 0.0 and ticks[-1] <= 1.0 + 1e-9
+    assert len(ticks) >= 3
+    deltas = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+    assert len(deltas) == 1  # uniform spacing
+    assert _nice_ticks(2.0, 2.0)  # degenerate range does not crash
+
+
+def test_chart_from_result_load_series():
+    result = {
+        "id": "fig5a", "description": "demo", "metric": "throughput",
+        "series": {"olm": [{"load": 0.1, "throughput": 0.1},
+                           {"load": 0.2, "throughput": 0.19}]},
+    }
+    chart = chart_from_result(result)
+    assert "Accepted load" in chart.ylabel
+    assert "Offered load" in chart.xlabel
+    ET.fromstring(chart.to_svg())
+
+
+def test_chart_from_result_mixed_series():
+    result = {
+        "id": "fig6b", "description": "demo", "metric": "drain_cycles",
+        "series": {"pb": [{"global_pct": 0, "drain_cycles": 100},
+                          {"global_pct": 100, "drain_cycles": 220}]},
+    }
+    chart = chart_from_result(result)
+    assert "%" in chart.xlabel
+    svg = chart.to_svg()
+    assert "Burst consumption" in svg
+
+
+def test_save_creates_directories(tmp_path):
+    path = sample_chart().save(tmp_path / "a" / "b" / "fig.svg")
+    assert path.exists()
+    assert path.read_text().startswith("<svg")

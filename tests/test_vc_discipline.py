@@ -1,0 +1,98 @@
+"""Per-mechanism virtual-channel discipline, validated on replayed paths.
+
+These are the paper's deadlock-freedom arguments turned into runtime
+invariants: ascending Günther chains (MIN/VAL/PB/PAR-6/2), the RLM
+per-supernode VC + Table I restriction, and the OLM escape-level bound.
+"""
+
+import pytest
+
+from repro.traffic.patterns import (
+    AdversarialGlobal,
+    AdversarialLocal,
+    MixedGlobalLocal,
+    UniformRandom,
+)
+
+from tests.helpers import (
+    assert_ascending_vcs,
+    assert_olm_discipline,
+    assert_rlm_discipline,
+    bernoulli_sim,
+    collect_delivered,
+)
+
+PATTERNS = [
+    ("uniform", UniformRandom()),
+    ("advg1", AdversarialGlobal(1)),
+    ("advgh", AdversarialGlobal(2)),
+    ("advl", AdversarialLocal(1)),
+    ("mixed", MixedGlobalLocal(0.5, global_offset=2)),
+]
+
+
+@pytest.mark.parametrize("pattern_name,pattern", PATTERNS)
+@pytest.mark.parametrize("routing", ["minimal", "valiant", "pb"])
+def test_static_mechanisms_ascend(routing, pattern_name, pattern):
+    sim = bernoulli_sim(routing, pattern, 0.5)
+    for pkt in collect_delivered(sim, 300):
+        assert_ascending_vcs(sim, pkt, local_vcs=3)
+
+
+@pytest.mark.parametrize("pattern_name,pattern", PATTERNS)
+def test_par62_ascends_with_six_vcs(pattern_name, pattern):
+    sim = bernoulli_sim("par62", pattern, 0.6)
+    for pkt in collect_delivered(sim, 300):
+        assert_ascending_vcs(sim, pkt, local_vcs=6)
+
+
+@pytest.mark.parametrize("pattern_name,pattern", PATTERNS)
+def test_rlm_discipline(pattern_name, pattern):
+    sim = bernoulli_sim("rlm", pattern, 0.6)
+    for pkt in collect_delivered(sim, 300):
+        assert_rlm_discipline(sim, pkt)
+
+
+@pytest.mark.parametrize("pattern_name,pattern", PATTERNS)
+def test_olm_discipline(pattern_name, pattern):
+    sim = bernoulli_sim("olm", pattern, 0.6)
+    for pkt in collect_delivered(sim, 300):
+        assert_olm_discipline(sim, pkt)
+
+
+@pytest.mark.parametrize("routing", ["par62", "rlm"])
+def test_wormhole_discipline(routing):
+    sim = bernoulli_sim(routing, AdversarialGlobal(1), 0.3,
+                        flow_control="wh", packet_phits=40, flit_phits=10)
+    pkts = collect_delivered(sim, 150)
+    for pkt in pkts:
+        if routing == "rlm":
+            assert_rlm_discipline(sim, pkt)
+        else:
+            assert_ascending_vcs(sim, pkt, local_vcs=6)
+
+
+def test_route_length_bound_eight_hops():
+    """No route exceeds l-l-g-l-l-g-l-l (8 link hops) for any mechanism."""
+    for routing in ("par62", "rlm", "olm"):
+        sim = bernoulli_sim(routing, MixedGlobalLocal(0.5, 2), 0.7)
+        for pkt in collect_delivered(sim, 200):
+            hops = len(pkt.hops_log) - 1  # drop the ejection entry
+            assert hops <= 8, (routing, pkt.hops_log)
+            assert pkt.g_hops <= 2
+            assert pkt.local_misroutes <= 3
+
+
+def test_minimal_paths_are_minimal():
+    sim = bernoulli_sim("minimal", UniformRandom(), 0.3)
+    for pkt in collect_delivered(sim, 200):
+        hops = len(pkt.hops_log) - 1
+        assert hops == sim.topo.minimal_hops(pkt.src_router, pkt.dst_router)
+
+
+def test_valiant_always_detours():
+    sim = bernoulli_sim("valiant", AdversarialGlobal(1), 0.3)
+    for pkt in collect_delivered(sim, 200):
+        if pkt.dst_router != pkt.src_router:
+            assert pkt.global_misrouted
+            assert pkt.g_hops == 2

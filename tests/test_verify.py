@@ -1,0 +1,111 @@
+"""Shape-verification module: claim predicates and markdown rendering."""
+
+import pytest
+
+from repro.experiments.verify import (
+    CHECKS,
+    Claim,
+    check_burst,
+    check_mixed,
+    check_table1,
+    check_vct_advgh,
+    check_vct_uniform,
+    low_load_latency,
+    mean_drain,
+    render_experiments_md,
+    saturation,
+    verify_result,
+)
+
+
+def sweep_points(loads_thr, lat0=120.0):
+    return [{"load": load, "throughput": thr, "mean_latency": lat0 + 100 * i}
+            for i, (load, thr) in enumerate(loads_thr)]
+
+
+def test_helpers():
+    pts = sweep_points([(0.1, 0.1), (0.5, 0.45)])
+    assert saturation(pts) == 0.45
+    assert low_load_latency(pts) == 120.0
+    assert mean_drain([{"drain_cycles": 10}, {"drain_cycles": 30}]) == 20.0
+    assert saturation([]) == 0.0
+
+
+def good_uniform_result():
+    mk = lambda sat: sweep_points([(0.2, 0.2), (0.8, sat)])
+    return {
+        "id": "fig5a",
+        "description": "demo",
+        "series": {
+            "par62": mk(0.62), "olm": mk(0.61), "rlm": mk(0.60),
+            "minimal": mk(0.55), "pb": mk(0.55),
+        },
+    }
+
+
+def test_uniform_claims_pass():
+    claims = check_vct_uniform(good_uniform_result())
+    assert all(c.passed for c in claims)
+
+
+def test_uniform_claims_fail_when_olm_weak():
+    r = good_uniform_result()
+    r["series"]["olm"] = sweep_points([(0.2, 0.2), (0.8, 0.40)])
+    claims = check_vct_uniform(r)
+    assert not all(c.passed for c in claims)
+
+
+def test_advgh_claims():
+    mk = lambda sat: sweep_points([(0.1, 0.1), (0.5, sat)])
+    r = {"id": "fig5c", "series": {
+        "par62": mk(0.40), "olm": mk(0.39), "rlm": mk(0.38),
+        "valiant": mk(0.28), "pb": mk(0.30),
+    }}
+    assert all(c.passed for c in check_vct_advgh(r))
+    r["series"]["par62"] = r["series"]["olm"] = r["series"]["rlm"] = mk(0.2)
+    assert not all(c.passed for c in check_vct_advgh(r))
+
+
+def test_mixed_and_burst_claims():
+    mix = lambda v: [{"global_pct": p, "throughput": v} for p in (0, 100)]
+    r = {"id": "fig6a", "series": {
+        "par62": mix(0.7), "olm": mix(0.7), "rlm": mix(0.6), "pb": mix(0.5),
+    }}
+    assert all(c.passed for c in check_mixed(r))
+    drain = lambda v: [{"global_pct": p, "drain_cycles": v} for p in (0, 100)]
+    rb = {"id": "fig6b", "series": {"olm": drain(40), "rlm": drain(45), "pb": drain(100)}}
+    assert all(c.passed for c in check_burst(rb))
+    rb_bad = {"id": "fig6b", "series": {"olm": drain(95), "rlm": drain(99), "pb": drain(100)}}
+    assert not any(c.passed for c in check_burst(rb_bad))
+
+
+def test_table1_claim():
+    from repro.experiments.registry import run_experiment
+
+    res = run_experiment("tab1")
+    claims = check_table1(res)
+    assert claims[0].passed
+    assert verify_result(res)[0].passed
+
+
+def test_every_check_has_expectation_text():
+    for exp_id, (checker, expectation) in CHECKS.items():
+        assert callable(checker)
+        assert expectation
+
+
+def test_render_markdown():
+    from repro.experiments.registry import run_experiment
+
+    results = {"tab1": run_experiment("tab1")}
+    md = render_experiments_md(results)
+    assert "# EXPERIMENTS" in md
+    assert "tab1" in md
+    assert "shape checks pass" in md
+    assert "| claim | ok | measured |" in md
+
+
+def test_claim_row_rendering():
+    c = Claim("demo", True, "x=1")
+    assert "✅" in c.row()
+    assert "❌" in Claim("demo", False, "x").row()

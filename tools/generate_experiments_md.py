@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from saved experiment JSONs.
+
+Usage::
+
+    python -m repro.experiments.cli run all --scale tiny --json-dir results
+    python tools/generate_experiments_md.py results EXPERIMENTS.md
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.reporting import load_result
+from repro.experiments.verify import render_experiments_md
+
+
+def main(results_dir: str = "results", out: str = "EXPERIMENTS.md") -> int:
+    results = {}
+    for path in sorted(Path(results_dir).glob("*.json")):
+        result = load_result(path)
+        results[result["id"]] = result
+    if not results:
+        print(f"no result JSONs found in {results_dir!r}", file=sys.stderr)
+        return 1
+    Path(out).write_text(render_experiments_md(results))
+    print(f"wrote {out} from {len(results)} experiments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))
