@@ -12,18 +12,15 @@ Reproduces the paper's core story at reduced scale (h=2):
 Takes ~1 minute.
 """
 
-from repro import SimConfig, build_simulator
+from repro import SimConfig, session
 from repro.analysis import advg_minimal_bound, advl_minimal_bound
-from repro.traffic import AdversarialGlobal, BernoulliTraffic
 
 
 def measure(routing: str, offset: int, load: float, h: int = 2) -> float:
     cfg = SimConfig(h=h, routing=routing, flow_control="vct", seed=7)
-    sim = build_simulator(cfg, BernoulliTraffic(AdversarialGlobal(offset), load))
-    sim.run(2500)
-    sim.stats.reset(sim.now)
-    sim.run(2500)
-    return sim.stats.throughput(sim.topo.num_nodes, sim.now)
+    result = (session(cfg, pattern=f"advg+{offset}", load=load)
+              .warmup(2500).measure(2500))
+    return result.throughput
 
 
 def main() -> None:

@@ -8,15 +8,14 @@ to deliver everything.  This models the bursty phases of HPC codes
 Takes ~1 minute.
 """
 
-from repro import SimConfig, build_simulator
+from repro import SimConfig, session
 from repro.traffic import BurstTraffic, MixedGlobalLocal
 
 
 def drain_cycles(routing: str, p_global: float, packets: int = 60) -> int:
     cfg = SimConfig(h=2, routing=routing, flow_control="vct", seed=5)
-    sim = build_simulator(cfg, BurstTraffic(MixedGlobalLocal(p_global, global_offset=2),
-                                            packets))
-    return sim.run_until_drained(max_cycles=2_000_000)
+    traffic = BurstTraffic(MixedGlobalLocal(p_global, global_offset=2), packets)
+    return session(cfg, traffic=traffic).drain(2_000_000).drain_cycles
 
 
 def main() -> None:

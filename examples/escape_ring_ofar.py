@@ -10,20 +10,15 @@ h=2, plus the machine-checked deadlock argument for each mechanism.
 Takes ~1 minute.
 """
 
-from repro import SimConfig, build_simulator
+from repro import SimConfig, session
 from repro.analysis.cdg import cycle_witness, is_deadlock_free
 from repro.topology import Dragonfly
-from repro.traffic import AdversarialGlobal, BernoulliTraffic
 
 
 def run(routing: str, load: float):
     cfg = SimConfig(h=2, routing=routing, seed=13, record_hops=True)
-    sim = build_simulator(cfg, BernoulliTraffic(AdversarialGlobal(2), load))
-    sim.run(2500)
-    sim.stats.reset(sim.now)
-    sim.run(2500)
-    s = sim.stats
-    return s.throughput(sim.topo.num_nodes, sim.now), s.mean_latency(), s.latency_max
+    result = session(cfg, pattern="advg+2", load=load).warmup(2500).measure(2500)
+    return result.throughput, result.mean_latency, result.max_latency
 
 
 def main() -> None:

@@ -1,38 +1,38 @@
 #!/usr/bin/env python3
 """Quickstart: build a Dragonfly, route with OLM, measure a steady state.
 
-Runs in a few seconds.  Shows the three core objects of the library:
-``SimConfig`` (all knobs), a traffic process, and the ``Simulator``.
+Runs in a few seconds.  Shows the two core objects of the public API:
+``SimConfig`` (all knobs, every component selected by registry name)
+and the ``session(...)`` facade whose ``measure`` returns an immutable
+``RunResult`` snapshot.
 """
 
-from repro import SimConfig, build_simulator
-from repro.traffic import BernoulliTraffic, UniformRandom
+import repro
 
 
 def main() -> None:
-    cfg = SimConfig(
+    cfg = repro.SimConfig(
         h=2,                 # canonical well-balanced Dragonfly: 9 groups, 36 routers
+        topology="dragonfly",  # any TOPOLOGY_REGISTRY name
         routing="olm",       # the paper's best mechanism (needs VCT)
         flow_control="vct",
         packet_phits=8,      # Cascade-like small packets
         threshold=0.45,      # misrouting trigger (Figs 10/11 pick 45%)
         seed=42,
     )
-    sim = build_simulator(cfg, BernoulliTraffic(UniformRandom(), load=0.5))
+    s = repro.session(cfg, pattern="uniform", load=0.5)
+    print(f"topology: {s.sim.topo}")
 
-    print(f"topology: {sim.topo}")
-    sim.run(3000)                    # warm-up to steady state
-    sim.stats.reset(sim.now)         # measure from here
-    sim.run(3000)
+    result = s.warmup(3000).measure(3000)
 
-    s = sim.stats
-    nodes = sim.topo.num_nodes
     print(f"offered load        : 0.500 phits/(node*cycle)")
-    print(f"accepted load       : {s.throughput(nodes, sim.now):.3f} phits/(node*cycle)")
-    print(f"mean packet latency : {s.mean_latency():.1f} cycles")
-    print(f"mean hops           : {s.mean_hops():.2f}")
-    print(f"local misroutes/pkt : {s.local_misroute_rate():.3f}")
-    print(f"Valiant detours     : {100 * s.global_misroute_fraction():.1f}% of packets")
+    print(f"accepted load       : {result.throughput:.3f} phits/(node*cycle)")
+    print(f"mean packet latency : {result.mean_latency:.1f} cycles")
+    print(f"p50/p95/p99 latency : {result.latency_p50:.0f}/"
+          f"{result.latency_p95:.0f}/{result.latency_p99:.0f} cycles")
+    print(f"mean hops           : {result.mean_hops:.2f}")
+    print(f"local misroutes/pkt : {result.local_misroute_rate:.3f}")
+    print(f"Valiant detours     : {100 * result.global_misroute_fraction:.1f}% of packets")
 
 
 if __name__ == "__main__":

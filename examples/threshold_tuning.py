@@ -8,7 +8,7 @@ under ADVG, wasteful under UN) and vice versa.  The paper settles on
 curve for RLM at h=2.  Takes ~1-2 minutes.
 """
 
-from repro import SimConfig, build_simulator
+from repro import SimConfig, session
 from repro.traffic import AdversarialGlobal, BernoulliTraffic, UniformRandom
 
 
@@ -16,11 +16,9 @@ def saturation(routing: str, threshold: float, pattern, loads) -> float:
     best = 0.0
     for load in loads:
         cfg = SimConfig(h=2, routing=routing, threshold=threshold, seed=11)
-        sim = build_simulator(cfg, BernoulliTraffic(pattern, load))
-        sim.run(2000)
-        sim.stats.reset(sim.now)
-        sim.run(2000)
-        best = max(best, sim.stats.throughput(sim.topo.num_nodes, sim.now))
+        result = (session(cfg, traffic=BernoulliTraffic(pattern, load))
+                  .warmup(2000).measure(2000))
+        best = max(best, result.throughput)
     return best
 
 

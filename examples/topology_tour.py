@@ -6,7 +6,7 @@ reading the router code, and to see Table I regenerated from the
 construction procedure in §III-B.
 """
 
-from repro import Dragonfly, validate_topology
+from repro import Dragonfly, TOPOLOGY_REGISTRY, validate_topology
 from repro.core.paritysign import (
     CANONICAL_ORDER,
     TYPE_NAMES,
@@ -17,6 +17,9 @@ from repro.core.paritysign import (
 
 
 def main() -> None:
+    print("registered topologies:", ", ".join(
+        f"{n} ({d})" for n, d in TOPOLOGY_REGISTRY.describe().items()))
+    print()
     for h in (2, 4, 8):
         t = Dragonfly(h)
         validate_topology(t)

@@ -9,7 +9,7 @@ driving the simulator from real application traces.  Takes ~30s.
 
 import random
 
-from repro import SimConfig, build_simulator
+from repro import SimConfig, session
 from repro.topology import Dragonfly
 from repro.traffic import TraceReplay
 
@@ -40,12 +40,21 @@ def main() -> None:
     print(f"trace: {len(records)} packets over {topo.num_nodes} nodes\n")
     for routing in ("minimal", "olm"):
         cfg = SimConfig(h=2, routing=routing, seed=1)
-        sim = build_simulator(cfg, TraceReplay(records))
-        cycles = sim.run_until_drained(max_cycles=2_000_000)
-        s = sim.stats
-        print(f"{routing:8} completed in {cycles:6d} cycles | "
-              f"avg latency {s.mean_latency():7.1f} | max {s.latency_max:6d} | "
-              f"misrouted {100 * s.global_misroute_fraction():.0f}%")
+        s = session(cfg, traffic=TraceReplay(records))
+        # delivery observers see every ejection: track the burst phase (t=0)
+        burst_done = 0
+
+        @s.sim.add_delivery_observer
+        def note_burst(pkt, now):
+            nonlocal burst_done
+            if pkt.birth == 0:
+                burst_done = max(burst_done, now)
+
+        result = s.drain(2_000_000)
+        print(f"{routing:8} completed in {result.drain_cycles:6d} cycles "
+              f"(burst phase by {burst_done:6d}) | "
+              f"avg latency {result.mean_latency:7.1f} | p99 {result.latency_p99:6.0f} | "
+              f"misrouted {100 * result.global_misroute_fraction:.0f}%")
     print("\nAt this light per-phase load both finish with the last phase; "
           "rerun with denser traces (more packets per record time) to see "
           "adaptive routing pull ahead.")

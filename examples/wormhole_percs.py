@@ -9,19 +9,14 @@ This example compares RLM against PAR-6/2 (double the local VCs) and
 the baselines.  Takes ~1 minute.
 """
 
-from repro import SimConfig, DeadlockError, build_simulator
-from repro.traffic import AdversarialGlobal, BernoulliTraffic, UniformRandom
+from repro import SimConfig, build_simulator, session
 
 
-def run(routing: str, pattern, load: float):
+def run(routing: str, pattern_spec: str, load: float):
     cfg = SimConfig(h=2, routing=routing, flow_control="wh",
                     packet_phits=80, flit_phits=10, seed=9)
-    sim = build_simulator(cfg, BernoulliTraffic(pattern, load))
-    sim.run(4000)
-    sim.stats.reset(sim.now)
-    sim.run(4000)
-    s = sim.stats
-    return s.mean_latency(), s.throughput(sim.topo.num_nodes, sim.now)
+    result = session(cfg, pattern=pattern_spec, load=load).warmup(4000).measure(4000)
+    return result.mean_latency, result.throughput
 
 
 def main() -> None:
@@ -34,11 +29,11 @@ def main() -> None:
 
     print("UN, load 0.25 (WH, 80-phit packets):")
     for routing in ("minimal", "pb", "rlm", "par62"):
-        lat, thr = run(routing, UniformRandom(), 0.25)
+        lat, thr = run(routing, "uniform", 0.25)
         print(f"  {routing:8} latency {lat:7.1f} cy  accepted {thr:.3f}")
     print("\nADVG+1, load 0.35:")
     for routing in ("valiant", "pb", "rlm", "par62"):
-        lat, thr = run(routing, AdversarialGlobal(1), 0.35)
+        lat, thr = run(routing, "advg+1", 0.35)
         print(f"  {routing:8} latency {lat:7.1f} cy  accepted {thr:.3f}")
     print("\nRLM matches PAR-6/2 with half the local VCs — the paper's WH story.")
 

@@ -3,19 +3,34 @@
 
 Public API quick tour::
 
-    from repro import SimConfig, build_simulator
-    from repro.traffic import BernoulliTraffic, UniformRandom
+    import repro
 
-    cfg = SimConfig(h=2, routing="olm", flow_control="vct")
-    sim = build_simulator(cfg, BernoulliTraffic(UniformRandom(), load=0.5))
-    sim.run(2000)                       # warm up
-    sim.stats.reset(sim.now)
-    sim.run(2000)                       # measure
-    print(sim.stats.mean_latency(), sim.stats.throughput(sim.topo.num_nodes, sim.now))
+    cfg = repro.SimConfig(h=2, routing="olm", flow_control="vct")
+    result = repro.session(cfg, pattern="uniform", load=0.5).warmup(2000).measure(2000)
+    print(result.mean_latency, result.latency_p99, result.throughput)
+
+``repro.session(cfg)`` opens a :class:`Session` around one live
+simulator; ``warmup`` runs to steady state and resets the measurement
+window, ``measure``/``drain`` return a frozen :class:`RunResult`
+(latency mean and percentiles, throughput, misroute fractions, drain
+cycles).  Every pluggable component — topology, routing, flow control,
+arbitration, traffic — is selected by name in :class:`SimConfig` and
+resolved through one registry API::
+
+    from repro.registry import all_registries, TOPOLOGY_REGISTRY
+
+    for kind, registry in all_registries().items():
+        print(kind, registry.available())
+
+    @TOPOLOGY_REGISTRY.register("mytopo", description="my fabric")
+    class MyTopology: ...          # then SimConfig(topology="mytopo")
 
 Routing mechanisms: ``minimal``, ``valiant``, ``pb`` (Piggybacking),
-``par62`` (naïve PAR-6/2), ``rlm`` (Restricted Local Misrouting) and
-``olm`` (Opportunistic Local Misrouting).
+``par62`` (naïve PAR-6/2), ``rlm`` (Restricted Local Misrouting),
+``olm`` (Opportunistic Local Misrouting) and the ``ofar`` baseline.
+
+The lower-level surface (``build_simulator``, ``sim.stats``,
+``sim.add_delivery_observer``) remains available for custom loops.
 """
 
 from repro.core import ROUTING_REGISTRY, MisroutingTrigger, routing_by_name
@@ -25,18 +40,47 @@ from repro.network import (
     Simulator,
     build_simulator,
 )
-from repro.topology import Dragonfly, validate_topology
+from repro.topology import Dragonfly, Topology, validate_topology
+from repro.traffic import PATTERN_REGISTRY, PROCESS_REGISTRY
+from repro.registry import (
+    ARBITER_REGISTRY,
+    FLOW_CONTROL_REGISTRY,
+    TOPOLOGY_REGISTRY,
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+    all_registries,
+)
+from repro.facade import RunResult, Session, session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # configuration + engine
     "SimConfig",
     "Simulator",
     "build_simulator",
     "DeadlockError",
+    # session facade
+    "session",
+    "Session",
+    "RunResult",
+    # registries
+    "Registry",
+    "UnknownComponentError",
+    "DuplicateComponentError",
+    "all_registries",
+    "TOPOLOGY_REGISTRY",
+    "ROUTING_REGISTRY",
+    "FLOW_CONTROL_REGISTRY",
+    "ARBITER_REGISTRY",
+    "PATTERN_REGISTRY",
+    "PROCESS_REGISTRY",
+    # topology
+    "Topology",
     "Dragonfly",
     "validate_topology",
-    "ROUTING_REGISTRY",
+    # routing helpers
     "routing_by_name",
     "MisroutingTrigger",
     "__version__",

@@ -10,26 +10,15 @@ from repro.core.rlm import RlmRouting
 from repro.core.trigger import MisroutingTrigger
 from repro.core.valiant import ValiantRouting
 
-#: registry of all routing mechanisms by CLI/config name
-ROUTING_REGISTRY: dict[str, type[RoutingAlgorithm]] = {
-    "minimal": MinimalRouting,
-    "valiant": ValiantRouting,
-    "pb": PiggybackingRouting,
-    "par62": Par62Routing,
-    "rlm": RlmRouting,
-    "olm": OlmRouting,
-    "ofar": OfarRouting,  # prior-work baseline ([12]), beyond the paper's figures
-}
+# Importing the mechanism modules above registers each of them; the
+# registry itself lives in :mod:`repro.registry` and is re-exported here
+# for backward compatibility.
+from repro.registry import ROUTING_REGISTRY
 
 
 def routing_by_name(name: str) -> type[RoutingAlgorithm]:
     """Look up a routing mechanism class by its registry name."""
-    try:
-        return ROUTING_REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown routing {name!r}; known: {sorted(ROUTING_REGISTRY)}"
-        ) from None
+    return ROUTING_REGISTRY.get(name)
 
 
 __all__ = [

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
 from repro.topology.dragonfly import PortKind
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("minimal", description="MIN: always the minimal path (baseline)")
 class MinimalRouting(RoutingAlgorithm):
     """Deterministic minimal routing (no misrouting of any kind)."""
 

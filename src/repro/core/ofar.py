@@ -30,8 +30,10 @@ from __future__ import annotations
 from repro.core.base import AdaptiveRouting, Decision
 from repro.topology.dragonfly import PortKind
 from repro.topology.ring import hamiltonian_ring
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("ofar", description="OFAR: adaptive routing over a bubble escape ring (prior work [12])")
 class OfarRouting(AdaptiveRouting):
     """OFAR: unrestricted misrouting + escape-ring deadlock avoidance."""
 

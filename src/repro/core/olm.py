@@ -20,8 +20,10 @@ of a Valiant path.
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("olm", description="OLM: Opportunistic Local Misrouting (the paper's best, needs VCT)")
 class OlmRouting(AdaptiveRouting):
     """OLM: escape-path-protected local misrouting, 3/2 VCs, VCT only."""
 

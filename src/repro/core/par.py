@@ -11,8 +11,10 @@ buffer cost — the paper uses it as an upper reference only.
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("par62", description="PAR-6/2: naive progressive adaptive routing, 6 local VCs")
 class Par62Routing(AdaptiveRouting):
     """PAR with local misrouting, 6 local / 2 global VCs, WH- and VCT-safe."""
 

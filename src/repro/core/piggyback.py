@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
 from repro.topology.dragonfly import PortKind
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("pb", description="PB: source-adaptive UGAL with piggybacked congestion flags [12]")
 class PiggybackingRouting(RoutingAlgorithm):
     """PB: injection-time choice between minimal and Valiant per link flags."""
 

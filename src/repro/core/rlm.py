@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
 from repro.core.paritysign import hop_pair_allowed, link_type, pair_allowed
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("rlm", description="RLM: Restricted Local Misrouting (parity-sign rule, 3/2 VCs)")
 class RlmRouting(AdaptiveRouting):
     """RLM: parity-sign-restricted local misrouting, 3/2 VCs, VCT or WH."""
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
 from repro.topology.dragonfly import PortKind
+from repro.registry import ROUTING_REGISTRY
 
 
+@ROUTING_REGISTRY.register("valiant", description="VAL: obliviously randomized Valiant routing (baseline)")
 class ValiantRouting(RoutingAlgorithm):
     """Valiant: random intermediate group for every packet."""
 

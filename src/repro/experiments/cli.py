@@ -3,15 +3,19 @@
 Examples::
 
     dragonfly-repro list
+    dragonfly-repro list-components
     dragonfly-repro run fig5c --scale tiny --seed 2
     dragonfly-repro run tab1
     dragonfly-repro run all --scale smoke --json-dir results/
+    dragonfly-repro point --pattern advg+h --load 0.3 --config cfg.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.reporting import format_result, save_result
@@ -24,6 +28,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("list-components",
+                   help="list every registered component (topologies, routings, "
+                        "flow controls, arbiters, traffic) with descriptions")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id (see 'list') or 'all'")
     run.add_argument("--scale", default="tiny",
@@ -34,7 +41,58 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", help="write the result to this JSON file")
     run.add_argument("--json-dir", help="write one JSON per experiment into this directory")
     run.add_argument("--svg-dir", help="render one SVG figure per experiment into this directory")
+    point = sub.add_parser(
+        "point", help="run one steady-state point through the Session API")
+    point.add_argument("--config",
+                       help="SimConfig JSON file (see SimConfig.to_dict); "
+                            "defaults apply when omitted")
+    point.add_argument("--pattern", default="uniform",
+                       help="traffic pattern spec (uniform, advg+h, mixed:40, "
+                            "or any registered pattern name)")
+    point.add_argument("--load", type=float, default=0.5,
+                       help="offered load in phits/(node*cycle)")
+    point.add_argument("--warmup", type=int, default=2000)
+    point.add_argument("--measure", type=int, default=2000)
+    point.add_argument("--json", help="write config + result JSON to this file")
     return p
+
+
+def _list_components() -> None:
+    from repro.registry import all_registries
+
+    for kind, registry in all_registries().items():
+        print(f"{kind}:")
+        described = registry.describe()
+        if not described:
+            print("  (none registered)")
+        for name, description in described.items():
+            print(f"  {name:12} {description}")
+        print()
+
+
+def _run_point(args) -> None:
+    import math
+
+    from repro.facade import session
+    from repro.network.config import SimConfig
+
+    if args.config:
+        config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
+    else:
+        config = SimConfig()
+    result = (session(config, pattern=args.pattern, load=args.load)
+              .warmup(args.warmup).measure(args.measure))
+    payload = {
+        "config": config.to_dict(),
+        "pattern": args.pattern,
+        "load": args.load,
+        # NaN (empty measurement window) is not valid JSON: emit null
+        "result": {k: None if isinstance(v, float) and math.isnan(v) else v
+                   for k, v in result.to_dict().items()},
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.json:
+        save_result(payload, args.json)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -42,6 +100,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for spec in EXPERIMENTS.values():
             print(f"{spec.id:8} {spec.description}")
+        return 0
+    if args.command == "list-components":
+        _list_components()
+        return 0
+    if args.command == "point":
+        _run_point(args)
         return 0
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:

@@ -8,9 +8,8 @@ registry exposes per-figure ids that project the shared records.
 from __future__ import annotations
 
 from repro.core.paritysign import CANONICAL_ORDER, TYPE_NAMES, build_allowed_table
-from repro.experiments.presets import get_scale
+from repro.experiments.presets import get_scale, preset_config
 from repro.experiments.sweeps import burst_drain, load_sweep, mixed_sweep, threshold_sweep
-from repro.network.config import paper_vct_config, paper_wh_config
 
 #: mechanisms plotted per figure family (paper legend order)
 VCT_UN_MECHS = ("par62", "olm", "rlm", "minimal", "pb")
@@ -24,19 +23,21 @@ MIX_PERCENTAGES = (0, 20, 40, 60, 80, 100)
 THRESHOLDS = (0.30, 0.40, 0.45, 0.50, 0.60)
 
 
-def _sweep(mechs, cfg_fn, scale, pattern: str, loads, seed: int,
+def _sweep(mechs, preset: str, scale, pattern: str, loads, seed: int,
            workers: int = 1) -> dict:
     scale = get_scale(scale)
     loads = tuple(loads or _loads(scale, pattern))
+    configs = {m: preset_config(preset, scale=scale, routing=m, seed=seed)
+               for m in mechs}
     if workers and workers > 1:
         from repro.experiments.parallel import parallel_multi_sweep
 
-        spec = [(m, cfg_fn(h=scale.h, routing=m, seed=seed), pattern) for m in mechs]
+        spec = [(m, configs[m], pattern) for m in mechs]
         series = parallel_multi_sweep(spec, loads, scale.warmup, scale.measure, workers)
     else:
         series = {
-            mech: load_sweep(cfg_fn(h=scale.h, routing=mech, seed=seed), pattern,
-                             loads, scale.warmup, scale.measure)
+            mech: load_sweep(configs[mech], pattern, loads,
+                             scale.warmup, scale.measure)
             for mech in mechs
         }
     return {"pattern": pattern, "scale": scale.name, "series": series}
@@ -49,33 +50,33 @@ def _loads(scale, pattern: str):
 # ------------------------------------------------------------ VCT (Figs 4/5)
 def sweep_vct_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 4a + 5a: UN traffic, VCT."""
-    return _sweep(VCT_UN_MECHS, paper_vct_config, scale, "uniform", loads, seed, workers)
+    return _sweep(VCT_UN_MECHS, "vct", scale, "uniform", loads, seed, workers)
 
 
 def sweep_vct_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 4b + 5b: ADVG+1, VCT."""
-    return _sweep(VCT_ADV_MECHS, paper_vct_config, scale, "advg+1", loads, seed, workers)
+    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+1", loads, seed, workers)
 
 
 def sweep_vct_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 4c + 5c: ADVG+h, VCT (pathological local saturation)."""
-    return _sweep(VCT_ADV_MECHS, paper_vct_config, scale, "advg+h", loads, seed, workers)
+    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+h", loads, seed, workers)
 
 
 # ------------------------------------------------------------- WH (Figs 7/8)
 def sweep_wh_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 7a + 8a: UN traffic, WH."""
-    return _sweep(WH_UN_MECHS, paper_wh_config, scale, "uniform", loads, seed, workers)
+    return _sweep(WH_UN_MECHS, "wh", scale, "uniform", loads, seed, workers)
 
 
 def sweep_wh_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 7b + 8b: ADVG+1, WH."""
-    return _sweep(WH_ADV_MECHS, paper_wh_config, scale, "advg+1", loads, seed, workers)
+    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+1", loads, seed, workers)
 
 
 def sweep_wh_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
     """Figures 7c + 8c: ADVG+h, WH."""
-    return _sweep(WH_ADV_MECHS, paper_wh_config, scale, "advg+h", loads, seed, workers)
+    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+h", loads, seed, workers)
 
 
 # ------------------------------------------------ mixed + burst (Figs 6 / 9)
@@ -83,7 +84,7 @@ def mixed_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> d
     """Figure 6a: ADVG+h/ADVL+1 mix throughput at offered load 1.0, VCT."""
     scale = get_scale(scale)
     series = {
-        mech: mixed_sweep(paper_vct_config(h=scale.h, routing=mech, seed=seed),
+        mech: mixed_sweep(preset_config("vct", scale=scale, routing=mech, seed=seed),
                           percentages, 1.0, scale.warmup, scale.measure)
         for mech in VCT_MIX_MECHS
     }
@@ -94,7 +95,7 @@ def burst_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> d
     """Figure 6b: burst-consumption time under the ADVG/ADVL mix, VCT."""
     scale = get_scale(scale)
     series = {
-        mech: burst_drain(paper_vct_config(h=scale.h, routing=mech, seed=seed),
+        mech: burst_drain(preset_config("vct", scale=scale, routing=mech, seed=seed),
                           percentages, scale.burst_vct, scale.max_drain_cycles)
         for mech in VCT_MIX_MECHS
     }
@@ -105,7 +106,7 @@ def mixed_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> di
     """Figure 9a: mix throughput, WH."""
     scale = get_scale(scale)
     series = {
-        mech: mixed_sweep(paper_wh_config(h=scale.h, routing=mech, seed=seed),
+        mech: mixed_sweep(preset_config("wh", scale=scale, routing=mech, seed=seed),
                           percentages, 1.0, scale.warmup, scale.measure)
         for mech in WH_MIX_MECHS
     }
@@ -116,7 +117,7 @@ def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> di
     """Figure 9b: burst-consumption time, WH (payload matched to Fig 6b)."""
     scale = get_scale(scale)
     series = {
-        mech: burst_drain(paper_wh_config(h=scale.h, routing=mech, seed=seed),
+        mech: burst_drain(preset_config("wh", scale=scale, routing=mech, seed=seed),
                           percentages, scale.burst_wh, scale.max_drain_cycles)
         for mech in WH_MIX_MECHS
     }
@@ -127,7 +128,7 @@ def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> di
 def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
     """Figure 10: RLM/VCT misrouting-threshold sweep under UN."""
     scale = get_scale(scale)
-    cfg = paper_vct_config(h=scale.h, routing="rlm", seed=seed)
+    cfg = preset_config("vct", scale=scale, routing="rlm", seed=seed)
     series = threshold_sweep(cfg, thresholds, "uniform", scale.loads_uniform,
                              scale.warmup, scale.measure)
     return {"pattern": "uniform", "scale": scale.name,
@@ -137,7 +138,7 @@ def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) ->
 def threshold_advg1(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
     """Figure 11: RLM/VCT misrouting-threshold sweep under ADVG+1."""
     scale = get_scale(scale)
-    cfg = paper_vct_config(h=scale.h, routing="rlm", seed=seed)
+    cfg = preset_config("vct", scale=scale, routing="rlm", seed=seed)
     series = threshold_sweep(cfg, thresholds, "advg+1", scale.loads_adversarial,
                              scale.warmup, scale.measure)
     return {"pattern": "advg+1", "scale": scale.name,

@@ -10,7 +10,9 @@ with identical router architecture and per-link parameters; DESIGN.md
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.network.config import SimConfig, paper_vct_config, paper_wh_config
 
 
 @dataclass(frozen=True)
@@ -70,3 +72,27 @@ def get_scale(name_or_scale) -> Scale:
         return SCALES[name_or_scale]
     except KeyError:
         raise ValueError(f"unknown scale {name_or_scale!r}; known: {sorted(SCALES)}") from None
+
+
+#: flow-control regime -> paper-faithful config builder (§IV-A / §IV-B)
+PRESET_CONFIGS = {
+    "vct": paper_vct_config,
+    "wh": paper_wh_config,
+}
+
+
+def preset_config(flow_control: str, *, scale, routing: str, seed: int = 1,
+                  **over) -> "SimConfig":
+    """Paper-faithful :class:`SimConfig` for one figure series.
+
+    Combines a flow-control regime preset with a :class:`Scale` (which
+    fixes ``h``), e.g. ``preset_config("vct", scale="tiny",
+    routing="olm")``.
+    """
+    try:
+        builder = PRESET_CONFIGS[flow_control]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {flow_control!r}; known: {sorted(PRESET_CONFIGS)}"
+        ) from None
+    return builder(h=get_scale(scale).h, routing=routing, seed=seed, **over)

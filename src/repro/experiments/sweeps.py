@@ -1,30 +1,33 @@
 """Sweep runners: one steady-state point, load sweeps, mixed sweeps, bursts.
 
-Every runner returns plain dict records (JSON-serialisable) so that the
-CLI, the benchmarks and EXPERIMENTS.md share one source of numbers.
+Every runner drives the :mod:`repro.facade` Session API and returns
+plain dict records (JSON-serialisable) so that the CLI, the benchmarks
+and EXPERIMENTS.md share one source of numbers.  Records carry the
+:class:`~repro.facade.RunResult` fields plus the sweep coordinates
+(routing, pattern, load, ...).
 """
 
 from __future__ import annotations
 
+from repro.facade import session
 from repro.network.config import SimConfig
-from repro.network.simulator import Simulator
-from repro.traffic.patterns import MixedGlobalLocal, pattern_by_name
+from repro.traffic.patterns import MixedGlobalLocal
 from repro.traffic.processes import BernoulliTraffic, BurstTraffic
+
+
+def _record(result, config: SimConfig, **coords) -> dict:
+    rec = result.to_dict()
+    rec.update(flow_control=config.flow_control, h=config.h, **coords)
+    return rec
 
 
 def run_point(config: SimConfig, pattern_spec: str, load: float,
               warmup: int, measure: int) -> dict:
     """One steady-state measurement: warm up, reset stats, measure."""
-    sim = Simulator(config)
-    pattern = pattern_by_name(pattern_spec, sim.topo)
-    sim.traffic = BernoulliTraffic(pattern, load)
-    sim.run(warmup)
-    sim.stats.reset(sim.now)
-    sim.run(measure)
-    rec = sim.stats.as_dict(sim.topo.num_nodes, sim.now)
-    rec.update(routing=config.routing, pattern=pattern_spec, load=load,
-               flow_control=config.flow_control, h=config.h)
-    return rec
+    result = (session(config, pattern=pattern_spec, load=load)
+              .warmup(warmup).measure(measure))
+    return _record(result, config, routing=config.routing,
+                   pattern=pattern_spec, load=load)
 
 
 def load_sweep(config: SimConfig, pattern_spec: str, loads, warmup: int,
@@ -38,16 +41,12 @@ def mixed_sweep(config: SimConfig, percentages, load: float, warmup: int,
     """ADVG+h / ADVL+1 mix sweep at fixed offered load (Figs 6a/9a)."""
     out = []
     for pct in percentages:
-        sim = Simulator(config)
-        off = sim.topo.h if global_offset is None else global_offset
-        sim.traffic = BernoulliTraffic(MixedGlobalLocal(pct / 100.0, off), load)
-        sim.run(warmup)
-        sim.stats.reset(sim.now)
-        sim.run(measure)
-        rec = sim.stats.as_dict(sim.topo.num_nodes, sim.now)
-        rec.update(routing=config.routing, pattern=f"mixed:{pct}", load=load,
-                   global_pct=pct, flow_control=config.flow_control, h=config.h)
-        out.append(rec)
+        s = session(config)
+        off = s.sim.topo.h if global_offset is None else global_offset
+        s.with_traffic(BernoulliTraffic(MixedGlobalLocal(pct / 100.0, off), load))
+        result = s.warmup(warmup).measure(measure)
+        out.append(_record(result, config, routing=config.routing,
+                           pattern=f"mixed:{pct}", load=load, global_pct=pct))
     return out
 
 
@@ -56,18 +55,19 @@ def burst_drain(config: SimConfig, percentages, packets_per_node: int,
     """Burst-consumption experiment (Figs 6b/9b): cycles to drain a burst."""
     out = []
     for pct in percentages:
-        sim = Simulator(config)
-        off = sim.topo.h if global_offset is None else global_offset
-        sim.traffic = BurstTraffic(
-            MixedGlobalLocal(pct / 100.0, off), packets_per_node
-        )
-        cycles = sim.run_until_drained(max_cycles)
+        s = session(config)
+        off = s.sim.topo.h if global_offset is None else global_offset
+        s.with_traffic(BurstTraffic(MixedGlobalLocal(pct / 100.0, off),
+                                    packets_per_node))
+        result = s.drain(max_cycles)
         out.append({
             "routing": config.routing,
             "global_pct": pct,
             "packets_per_node": packets_per_node,
-            "drain_cycles": cycles,
-            "delivered": sim.stats.delivered,
+            "drain_cycles": result.drain_cycles,
+            "delivered": result.delivered,
+            "mean_latency": result.mean_latency,
+            "latency_p99": result.latency_p99,
             "flow_control": config.flow_control,
             "h": config.h,
         })

@@ -212,15 +212,25 @@ def verify_result(result: dict) -> list[Claim]:
 
 def render_experiments_md(results: dict[str, dict]) -> str:
     """Render EXPERIMENTS.md from a full set of experiment results."""
+    scale = next((r.get("scale") for r in results.values()
+                  if r.get("scale") not in (None, "n/a")), "tiny")
     lines = [
         "# EXPERIMENTS — paper vs. measured",
         "",
-        "Regenerated with `dragonfly-repro run all --scale tiny` "
-        "(h=2: 9 supernodes × 4 routers, 72 nodes; the paper simulates "
-        "h=8 with 16 512 nodes — see DESIGN.md §3 for the scale "
-        "substitution).  Absolute values differ with scale; the checks "
-        "below verify the paper's *qualitative* claims: orderings, "
-        "factors, crossovers.",
+        f"Regenerated with `dragonfly-repro run all --scale {scale}` "
+        "(the paper simulates h=8 with 16 512 nodes — see DESIGN.md §3 "
+        "for the scale substitution).  Absolute values differ with "
+        "scale; the checks below verify the paper's *qualitative* "
+        "claims: orderings, factors, crossovers.",
+        "",
+        "Every record is produced through the public Session API — one "
+        "sweep point is::",
+        "",
+        "    result = repro.session(cfg, pattern=..., load=...)"
+        ".warmup(W).measure(M)",
+        "",
+        "and the tables below read the resulting `RunResult` fields "
+        "(`throughput`, `mean_latency`, `drain_cycles`, ...).",
         "",
     ]
     passed = failed = 0

@@ -1,0 +1,216 @@
+"""High-level `Session` / `RunResult` facade over the cycle engine.
+
+The canonical way to run a simulation::
+
+    import repro
+
+    cfg = repro.SimConfig(h=2, routing="olm")
+    result = repro.session(cfg, pattern="uniform", load=0.5).warmup(2000).measure(2000)
+    print(result.mean_latency, result.latency_p99, result.throughput)
+
+A :class:`Session` owns one live :class:`~repro.network.simulator.Simulator`
+and exposes the warm-up / measure / drain workflow; every measurement
+returns an immutable :class:`RunResult` snapshot (latency mean and
+percentiles, throughput, misroute fractions, drain cycles) so callers
+never poke ``sim.stats`` directly.  The raw simulator stays reachable
+through ``session.sim`` for low-level work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.metrics.probes import LatencyProbe
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator, build_simulator
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.processes import BernoulliTraffic
+
+
+def _percentile(sorted_values: list[int], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Immutable snapshot of one measurement window.
+
+    ``kind`` is ``"measure"`` (fixed-length steady-state window) or
+    ``"drain"`` (run-until-empty); ``drain_cycles`` is only set for the
+    latter.  Latency percentiles are computed over every packet
+    delivered inside the window.
+    """
+
+    kind: str
+    start_cycle: int
+    end_cycle: int
+    generated: int
+    delivered: int
+    delivered_phits: int
+    mean_latency: float
+    max_latency: int
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    mean_hops: float
+    throughput: float
+    local_misroute_rate: float
+    global_misroute_fraction: float
+    drain_cycles: int | None = None
+
+    @property
+    def window_cycles(self) -> int:
+        """Length of the measurement window in cycles."""
+        return self.end_cycle - self.start_cycle
+
+    def to_dict(self) -> dict:
+        """Plain mapping of every field (sweep/record interchange).
+
+        Ratio fields are ``float('nan')`` when the window delivered no
+        packets — map them to ``None`` before strict-JSON serialization
+        (the ``point`` CLI command does).
+        """
+        return asdict(self)
+
+
+class Session:
+    """A live simulation with the warm-up / measure / drain workflow.
+
+    Chainable: ``session(cfg, pattern="uniform", load=0.5)
+    .warmup(2000).measure(2000)``.  The session attaches a delivery
+    observer to record per-packet latencies for the percentile fields of
+    :class:`RunResult`; further observers can be added freely through
+    ``session.sim.add_delivery_observer``.
+    """
+
+    def __init__(self, config: SimConfig | None = None, *, traffic=None,
+                 sim: Simulator | None = None) -> None:
+        if sim is None:
+            if config is None:
+                raise ValueError("Session needs a SimConfig (or a prebuilt sim)")
+            sim = build_simulator(config, traffic)
+        else:
+            if config is not None and config != sim.config:
+                raise ValueError(
+                    "got both a config and a prebuilt sim with a different "
+                    "config; pass one or the other"
+                )
+            if traffic is not None:
+                sim.traffic = traffic
+        self._sim = sim
+        self._probe = LatencyProbe(sim)
+
+    def close(self) -> None:
+        """Detach the session's latency observer from the simulator.
+
+        Call when wrapping a long-lived prebuilt simulator in several
+        short-lived sessions; otherwise each session would keep
+        recording deliveries forever.
+        """
+        self._probe.detach()
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator (escape hatch for low-level access)."""
+        return self._sim
+
+    @property
+    def config(self) -> SimConfig:
+        return self._sim.config
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    # -------------------------------------------------------------- traffic
+    def with_traffic(self, traffic) -> "Session":
+        """Attach (or replace) the traffic process; chainable."""
+        self._sim.traffic = traffic
+        return self
+
+    def bernoulli(self, pattern_spec: str, load: float) -> "Session":
+        """Attach open-loop Bernoulli sources over a pattern spec; chainable."""
+        pattern = pattern_by_name(pattern_spec, self._sim.topo)
+        return self.with_traffic(BernoulliTraffic(pattern, load))
+
+    # ------------------------------------------------------------- workflow
+    def run(self, cycles: int) -> "Session":
+        """Advance without touching the measurement window; chainable."""
+        self._sim.run(cycles)
+        return self
+
+    def warmup(self, cycles: int) -> "Session":
+        """Run ``cycles`` cycles, then reset the measurement window; chainable."""
+        self._sim.run(cycles)
+        return self.reset()
+
+    def reset(self) -> "Session":
+        """Restart the measurement window at the current cycle; chainable."""
+        self._sim.stats.reset(self._sim.now)
+        self._probe.clear()
+        return self
+
+    def measure(self, cycles: int) -> RunResult:
+        """Run ``cycles`` more cycles and snapshot the window."""
+        self._sim.run(cycles)
+        return self._snapshot("measure")
+
+    def drain(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run until all injected traffic is delivered; snapshot with drain time."""
+        cycles = self._sim.run_until_drained(max_cycles)
+        return self._snapshot("drain", drain_cycles=cycles)
+
+    # -------------------------------------------------------------- snapshot
+    def _snapshot(self, kind: str, *, drain_cycles: int | None = None) -> RunResult:
+        sim = self._sim
+        stats = sim.stats
+        lat = sorted(self._probe.latencies)
+        return RunResult(
+            kind=kind,
+            start_cycle=stats.window_start,
+            end_cycle=sim.now,
+            generated=stats.generated,
+            delivered=stats.delivered,
+            delivered_phits=stats.delivered_phits,
+            mean_latency=stats.mean_latency(),
+            max_latency=stats.latency_max,
+            latency_p50=_percentile(lat, 0.50),
+            latency_p95=_percentile(lat, 0.95),
+            latency_p99=_percentile(lat, 0.99),
+            mean_hops=stats.mean_hops(),
+            throughput=stats.throughput(sim.topo.num_nodes, sim.now),
+            local_misroute_rate=stats.local_misroute_rate(),
+            global_misroute_fraction=stats.global_misroute_fraction(),
+            drain_cycles=drain_cycles,
+        )
+
+
+def session(config: SimConfig | None = None, *, traffic=None,
+            pattern: str | None = None, load: float | None = None,
+            sim: Simulator | None = None) -> Session:
+    """Open a :class:`Session` (the public entry point, ``repro.session``).
+
+    ``traffic`` attaches an explicit traffic process; alternatively
+    ``pattern``/``load`` is shorthand for open-loop Bernoulli sources
+    over a pattern spec (``"uniform"``, ``"advg+h"``, ``"mixed:40"``, a
+    registered pattern name, ...).
+    """
+    if traffic is not None and (pattern is not None or load is not None):
+        raise ValueError("pass either traffic or pattern/load, not both")
+    s = Session(config, traffic=traffic, sim=sim)
+    if pattern is not None:
+        if load is None:
+            raise ValueError("pattern requires an offered load")
+        s.bernoulli(pattern, load)
+    elif load is not None:
+        raise ValueError("load requires a pattern")
+    return s
+
+
+__all__ = ["Session", "RunResult", "session"]

@@ -43,6 +43,42 @@ class ThroughputProbe:
         return self.series
 
 
+class LatencyProbe:
+    """Per-packet latency recorder built on the delivery-observer hook.
+
+    Attaches to a simulator via ``sim.add_delivery_observer``; collects
+    one latency sample (bare int, delivery order) per ejected packet
+    until detached.  This is the probe the Session facade uses for its
+    percentile fields; standalone use::
+
+        probe = LatencyProbe(sim)
+        sim.run(5000)
+        print(max(probe.latencies))
+        probe.detach()
+
+    Memory is O(packets delivered while attached); ``clear()`` after
+    warm-up (the Session does) to keep only the measurement window.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.latencies: list[int] = []
+        self._attached = True
+        sim.add_delivery_observer(self._on_delivered)
+
+    def _on_delivered(self, packet, now: int) -> None:
+        self.latencies.append(now - packet.birth)
+
+    def clear(self) -> None:
+        self.latencies.clear()
+
+    def detach(self) -> None:
+        """Stop observing (idempotent)."""
+        if self._attached:
+            self._attached = False
+            self.sim.remove_delivery_observer(self._on_delivered)
+
+
 def occupancy_snapshot(sim) -> dict:
     """Mean downstream occupancy fraction per port kind, plus the hottest link."""
     sums = {PortKind.LOCAL: 0.0, PortKind.GLOBAL: 0.0}

@@ -5,10 +5,12 @@ flow control, link latency pipelines and per-port serialization — the
 same router architecture as the paper's in-house simulator.
 """
 
+from repro.network.arbitration import Arbiter, RoundRobinArbiter, RandomArbiter, AgeArbiter
 from repro.network.config import SimConfig
 from repro.network.flowcontrol import FlowControl, VirtualCutThrough, Wormhole, flow_control_by_name
 from repro.network.packet import Packet, Flit
 from repro.network.simulator import Simulator, DeadlockError, build_simulator
+from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY
 
 __all__ = [
     "SimConfig",
@@ -16,6 +18,12 @@ __all__ = [
     "VirtualCutThrough",
     "Wormhole",
     "flow_control_by_name",
+    "FLOW_CONTROL_REGISTRY",
+    "Arbiter",
+    "RoundRobinArbiter",
+    "RandomArbiter",
+    "AgeArbiter",
+    "ARBITER_REGISTRY",
     "Packet",
     "Flit",
     "Simulator",

@@ -1,0 +1,69 @@
+"""Output-port arbitration strategies.
+
+When several input ports request the same output port in one cycle,
+the router's :class:`Arbiter` picks the winner.  Strategies are
+registered in ``repro.registry.ARBITER_REGISTRY`` and selected with
+``SimConfig(arbitration=...)``; third parties register their own.
+
+A request is the allocation tuple built by the engine:
+``(input_port, vc_buffer, flit, out_idx, out_vc, decision)``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.registry import ARBITER_REGISTRY
+
+
+class Arbiter(abc.ABC):
+    """Strategy object choosing one winner among competing requests."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def pick(self, requests: list, out, num_inputs: int, rng):
+        """Return the winning request tuple (``requests`` has >= 2 entries).
+
+        ``out`` is the contended :class:`OutputUnit` (its ``rr`` pointer
+        holds round-robin state); ``rng`` is the simulator's routing RNG
+        so randomized policies stay deterministic per seed.
+        """
+
+
+@ARBITER_REGISTRY.register(
+    "rr", description="round-robin over input ports (default, starvation-free)")
+class RoundRobinArbiter(Arbiter):
+    """Rotating priority: the port after the last winner goes first."""
+
+    name = "rr"
+
+    def pick(self, requests: list, out, num_inputs: int, rng):
+        base = out.rr
+        return min(requests, key=lambda s: (s[0].index - base) % num_inputs)
+
+
+@ARBITER_REGISTRY.register(
+    "random", description="uniformly random winner among the requesters")
+class RandomArbiter(Arbiter):
+    """Uniform random choice (seeded by the simulator's routing RNG)."""
+
+    name = "random"
+
+    def pick(self, requests: list, out, num_inputs: int, rng):
+        return requests[rng.randrange(len(requests))]
+
+
+@ARBITER_REGISTRY.register(
+    "age", description="oldest packet first (global age-based priority)")
+class AgeArbiter(Arbiter):
+    """Oldest packet wins; ties broken by input-port index."""
+
+    name = "age"
+
+    def pick(self, requests: list, out, num_inputs: int, rng):
+        return min(requests, key=lambda s: (s[2].packet.birth, s[0].index))
+
+
+__all__ = ["Arbiter", "RoundRobinArbiter", "RandomArbiter", "AgeArbiter",
+           "ARBITER_REGISTRY"]

@@ -6,11 +6,23 @@ global links 100 cycles, local FIFOs 32 phits, global FIFOs 256 phits,
 WH packets of 80 phits in 8 flits of 10 phits.  The network size
 defaults to ``h = 2`` so that pure-Python sweeps finish quickly; the
 paper's machine is ``h = 8`` and can be built by passing ``h=8``.
+
+Component names (``topology``, ``routing``, ``flow_control``,
+``arbitration``) are validated against the unified registries in
+:mod:`repro.registry`, so third-party components registered before a
+config is created are accepted like built-ins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, fields, replace
+
+from repro.registry import (
+    ARBITER_REGISTRY,
+    FLOW_CONTROL_REGISTRY,
+    ROUTING_REGISTRY,
+    TOPOLOGY_REGISTRY,
+)
 
 
 @dataclass
@@ -18,6 +30,7 @@ class SimConfig:
     """All knobs of one simulation run."""
 
     # ---- topology
+    topology: str = "dragonfly"
     h: int = 2
     p: int | None = None
     a: int | None = None
@@ -71,22 +84,62 @@ class SimConfig:
     deadlock_window: int = 5000
 
     def __post_init__(self) -> None:
-        if self.flow_control not in ("vct", "wh"):
-            raise ValueError("flow_control must be 'vct' or 'wh'")
+        # registry lookups raise UnknownComponentError (a ValueError) with
+        # the known names and a did-you-mean suggestion
+        TOPOLOGY_REGISTRY.get(self.topology)
+        ROUTING_REGISTRY.get(self.routing)
+        FLOW_CONTROL_REGISTRY.get(self.flow_control)
+        ARBITER_REGISTRY.get(self.arbitration)
         if self.packet_phits <= 0:
             raise ValueError("packet_phits must be positive")
         if not 0.0 <= self.threshold:
             raise ValueError("threshold must be non-negative")
-        if self.arbitration not in ("rr", "random", "age"):
-            raise ValueError("arbitration must be 'rr', 'random' or 'age'")
         if self.router_latency < 0:
             raise ValueError("router_latency must be non-negative")
+        # Derived defaults: remember which fields were left unset (``None``
+        # sentinel) so :meth:`with_` recomputes them against the new base
+        # values instead of freezing the stale resolved number.
+        self._pb_update_period_auto = self.pb_update_period is None
         if self.pb_update_period is None:
             self.pb_update_period = self.local_latency
 
     def with_(self, **kwargs) -> "SimConfig":
-        """Return a copy with fields replaced (convenience for sweeps)."""
+        """Return a copy with fields replaced (convenience for sweeps).
+
+        Derived defaults that were never set explicitly (currently
+        ``pb_update_period``, which tracks ``local_latency``) are
+        re-derived on the copy rather than carried over as stale values.
+        """
+        if self._pb_update_period_auto and "pb_update_period" not in kwargs:
+            kwargs.setdefault("pb_update_period", None)
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-safe mapping of every field (round-trips via :meth:`from_dict`).
+
+        Auto-derived fields are serialized as ``None`` so that the
+        round-tripped config keeps re-deriving them.
+        """
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        if self._pb_update_period_auto:
+            d["pb_update_period"] = None
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Build a validated config from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` (catches typos in sweep
+        manifests and CLI config files early).
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"SimConfig.from_dict needs a dict, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown SimConfig field(s): {unknown}; known: {sorted(known)}")
+        return cls(**data)
 
 
 #: Paper-faithful configuration for the VCT experiments (§IV-A), h reduced.

@@ -15,6 +15,7 @@ from __future__ import annotations
 import abc
 
 from repro.network.packet import Flit, Packet, flitize
+from repro.registry import FLOW_CONTROL_REGISTRY
 
 
 class FlowControl(abc.ABC):
@@ -23,6 +24,11 @@ class FlowControl(abc.ABC):
     name: str = "abstract"
     #: whether whole-packet downstream space is guaranteed before a hop
     whole_packet_reservation: bool = False
+
+    @classmethod
+    def from_config(cls, config) -> "FlowControl":
+        """Build the policy from a :class:`SimConfig` (registry hook)."""
+        return cls()
 
     @abc.abstractmethod
     def flits_of(self, packet: Packet) -> list[Flit]:
@@ -37,6 +43,8 @@ class FlowControl(abc.ABC):
         """Downstream free phits needed to grant this flit."""
 
 
+@FLOW_CONTROL_REGISTRY.register(
+    "vct", description="Virtual Cut-Through: whole-packet buffer reservation")
 class VirtualCutThrough(FlowControl):
     """VCT: one flit per packet, whole-packet buffer check, cut-through timing."""
 
@@ -54,6 +62,8 @@ class VirtualCutThrough(FlowControl):
         return flit.size  # the flit is the whole packet
 
 
+@FLOW_CONTROL_REGISTRY.register(
+    "wh", description="Wormhole: per-flit buffering, blocked packets sprawl")
 class Wormhole(FlowControl):
     """WH: fixed-size flits, per-flit buffer check, store-and-forward flits."""
 
@@ -64,6 +74,10 @@ class Wormhole(FlowControl):
         if flit_size <= 0:
             raise ValueError("flit_size must be positive")
         self.flit_size = flit_size
+
+    @classmethod
+    def from_config(cls, config) -> "Wormhole":
+        return cls(config.flit_phits)
 
     def flits_of(self, packet: Packet) -> list[Flit]:
         return flitize(packet, self.flit_size)
@@ -76,9 +90,12 @@ class Wormhole(FlowControl):
 
 
 def flow_control_by_name(name: str, *, flit_size: int = 0) -> FlowControl:
-    """Build a flow-control policy: ``"vct"`` or ``"wh"`` (needs flit_size)."""
-    if name == "vct":
-        return VirtualCutThrough()
-    if name == "wh":
+    """Build a registered flow-control policy (legacy shim).
+
+    Prefer ``FLOW_CONTROL_REGISTRY.get(name).from_config(config)``; this
+    wrapper survives for callers that only have a flit size at hand.
+    """
+    cls = FLOW_CONTROL_REGISTRY.get(name)
+    if cls is Wormhole:
         return Wormhole(flit_size)
-    raise ValueError(f"unknown flow control {name!r} (expected 'vct' or 'wh')")
+    return cls()

@@ -18,11 +18,13 @@ import random
 
 from repro.core import MisroutingTrigger, routing_by_name
 from repro.metrics.collector import StatsCollector
+from repro.network import arbitration as _arbitration  # noqa: F401 (registers arbiters)
 from repro.network.config import SimConfig
-from repro.network.flowcontrol import flow_control_by_name
+from repro.network.flowcontrol import FlowControl  # noqa: F401 (registers policies)
 from repro.network.packet import Packet
 from repro.network.router import Router
-from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY, TOPOLOGY_REGISTRY
+from repro.topology import PortKind
 
 
 class DeadlockError(RuntimeError):
@@ -30,20 +32,26 @@ class DeadlockError(RuntimeError):
 
 
 class Simulator:
-    """Cycle-level Dragonfly simulator."""
+    """Cycle-level simulator over any registered topology.
+
+    Components are resolved by name through the unified registries:
+    ``config.topology`` -> fabric, ``config.routing`` -> mechanism,
+    ``config.flow_control`` -> link policy, ``config.arbitration`` ->
+    output arbiter.  The engine itself is topology-agnostic; it only
+    uses the :class:`~repro.topology.base.Topology` protocol surface.
+    """
 
     def __init__(self, config: SimConfig, traffic=None) -> None:
         self.config = config
-        self.topo = Dragonfly(config.h, p=config.p, a=config.a,
-                              arrangement=config.arrangement)
+        self.topo = TOPOLOGY_REGISTRY.get(config.topology).from_config(config)
         algo_cls = routing_by_name(config.routing)
-        if algo_cls.requires_vct and config.flow_control != "vct":
+        self.fc = FLOW_CONTROL_REGISTRY.get(config.flow_control).from_config(config)
+        if algo_cls.requires_vct and not self.fc.whole_packet_reservation:
             raise ValueError(
                 f"routing {config.routing!r} requires VCT flow control "
                 "(it relies on whole-packet reservation)"
             )
-        self.fc = flow_control_by_name(config.flow_control, flit_size=config.flit_phits)
-        unit = config.packet_phits if config.flow_control == "vct" else config.flit_phits
+        unit = config.packet_phits if self.fc.whole_packet_reservation else config.flit_phits
         if unit > min(config.local_buffer_phits, config.global_buffer_phits):
             raise ValueError(
                 f"flow-control unit of {unit} phits does not fit the smallest "
@@ -69,16 +77,58 @@ class Simulator:
         self._wire_credit_upstreams()
         self.traffic = traffic
         self.stats = StatsCollector()
-        #: optional hook ``(packet, cycle) -> None`` fired at tail ejection
-        self.on_packet_delivered = None
+        #: hooks ``(packet, cycle) -> None`` fired at tail ejection, in
+        #: registration order (see :meth:`add_delivery_observer`)
+        self._delivery_observers: list = []
+        self._legacy_observer = None
         self.now = 0
         self.packets_in_flight = 0
         self._next_pid = 0
         self._arrivals: dict[int, list] = {}
         self._credit_events: dict[int, list] = {}
         self._last_progress = 0
-        self._arbitration = config.arbitration
+        self.arbiter = ARBITER_REGISTRY.get(config.arbitration)()
         self._router_latency = config.router_latency
+
+    # ------------------------------------------------------------- observers
+    def add_delivery_observer(self, fn):
+        """Register ``fn(packet, cycle)`` to fire at every tail ejection.
+
+        Returns ``fn`` so the method can be used as a decorator.  Any
+        number of observers may be attached (metrics probes, trace
+        writers, the Session latency recorder, ...).
+        """
+        self._delivery_observers = [*self._delivery_observers, fn]
+        return fn
+
+    def remove_delivery_observer(self, fn) -> None:
+        """Detach a previously added delivery observer.
+
+        Rebinds the list copy-on-write so the delivery hot path can
+        iterate it without snapshotting, even when an observer detaches
+        itself (or a peer) mid-callback.
+        """
+        observers = list(self._delivery_observers)
+        observers.remove(fn)  # equality match, as bound methods require
+        self._delivery_observers = observers
+
+    @property
+    def on_packet_delivered(self):
+        """Legacy single-observer hook (shim over the observer list)."""
+        return self._legacy_observer
+
+    @on_packet_delivered.setter
+    def on_packet_delivered(self, fn) -> None:
+        # tolerate a legacy hook already detached via remove_delivery_observer;
+        # rebind (copy-on-write) like the other observer mutators
+        prev = self._legacy_observer
+        observers = list(self._delivery_observers)
+        if prev is not None and prev in observers:
+            observers.remove(prev)
+        self._legacy_observer = fn
+        if fn is not None:
+            observers.append(fn)
+        self._delivery_observers = observers
 
     def _wire_credit_upstreams(self) -> None:
         """Point every input VC buffer at the output unit feeding it."""
@@ -218,18 +268,13 @@ class Simulator:
         if not requests:
             return
         nin = len(router.inputs)
-        arb = self._arbitration
+        arbiter = self.arbiter
         for oidx, reqs in requests.items():
             out = router.outputs[oidx]
             if len(reqs) == 1:
                 win = reqs[0]
-            elif arb == "age":
-                win = min(reqs, key=lambda s: (s[2].packet.birth, s[0].index))
-            elif arb == "random":
-                win = reqs[self.rng_route.randrange(len(reqs))]
-            else:  # round-robin
-                base = out.rr
-                win = min(reqs, key=lambda s: (s[0].index - base) % nin)
+            else:
+                win = arbiter.pick(reqs, out, nin, self.rng_route)
             out.rr = (win[0].index + 1) % nin
             self._grant(router, out, win, t)
 
@@ -262,8 +307,10 @@ class Simulator:
                 pkt.delivered_cycle = done
                 self.stats.on_delivered(pkt, done)
                 self.packets_in_flight -= 1
-                if self.on_packet_delivered is not None:
-                    self.on_packet_delivered(pkt, done)
+                if self._delivery_observers:
+                    # safe without a snapshot: removal rebinds the list
+                    for observer in self._delivery_observers:
+                        observer(pkt, done)
         else:
             out.credits[ovc] -= flit.size
             when = t + self.fc.arrival_delay(out.latency, flit) + self._router_latency

@@ -14,16 +14,20 @@ used in the Dragonfly literature, as long as the global network stays a
 fully-subscribed complete graph (``g = a*h + 1``).
 """
 
+from repro.registry import TOPOLOGY_REGISTRY
 from repro.topology.arrangements import (
     GlobalArrangement,
     PalmTreeArrangement,
     ConsecutiveArrangement,
     arrangement_by_name,
 )
+from repro.topology.base import Topology
 from repro.topology.dragonfly import Dragonfly, PortKind, OutputPort
 from repro.topology.validate import validate_topology
 
 __all__ = [
+    "Topology",
+    "TOPOLOGY_REGISTRY",
     "Dragonfly",
     "PortKind",
     "OutputPort",

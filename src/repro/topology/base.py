@@ -1,0 +1,61 @@
+"""The topology protocol: what the engine and routing layers require.
+
+A registered topology (see ``repro.registry.TOPOLOGY_REGISTRY``) is any
+class exposing this surface.  The engine builds it from a
+:class:`~repro.network.config.SimConfig` via ``from_config`` and only
+ever talks to the protocol — ``Simulator`` has no knowledge of which
+fabric it is driving.  The shipped implementation is the
+:class:`~repro.topology.dragonfly.Dragonfly`; third parties register
+their own fabrics without touching the engine.
+
+The protocol is hierarchical (nodes -> routers -> groups) because the
+router port model (eject/local/global) and the paper's routing
+mechanisms are expressed against that structure; a flat fabric can
+present itself as a single group.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Topology(Protocol):
+    """Structural interface every registered topology must provide."""
+
+    # ---- sizes
+    p: int            #: nodes per router
+    a: int            #: routers per group
+    h: int            #: global ports per router
+    num_nodes: int
+    num_routers: int
+    num_groups: int
+    local_ports: int
+    global_ports: int
+
+    @classmethod
+    def from_config(cls, config) -> "Topology":
+        """Build an instance from a :class:`SimConfig`."""
+        ...
+
+    # ---- id arithmetic
+    def group_of(self, router: int) -> int: ...
+    def index_in_group(self, router: int) -> int: ...
+    def router_id(self, group: int, index: int) -> int: ...
+    def router_of_node(self, node: int) -> int: ...
+    def node_index(self, node: int) -> int: ...
+    def node_id(self, router: int, k: int) -> int: ...
+
+    # ---- port maps
+    def local_port_to(self, src_index: int, dst_index: int) -> int: ...
+    def local_neighbor_index(self, src_index: int, port: int) -> int: ...
+    def local_neighbor(self, router: int, port: int) -> int: ...
+    def global_neighbor(self, router: int, gport: int) -> tuple[int, int]: ...
+
+    # ---- route maps
+    def exit_port(self, group: int, target_group: int) -> tuple[int, int]: ...
+    def target_group_of(self, router: int, gport: int) -> int: ...
+    def minimal_hops(self, src_router: int, dst_router: int) -> int: ...
+
+
+__all__ = ["Topology"]

@@ -9,6 +9,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.registry import TOPOLOGY_REGISTRY
 from repro.topology.arrangements import GlobalArrangement, arrangement_by_name
 
 
@@ -33,6 +34,9 @@ class OutputPort:
     index: int
 
 
+@TOPOLOGY_REGISTRY.register(
+    "dragonfly",
+    description="Dragonfly: complete-graph local and global networks (Kim et al.)")
 class Dragonfly:
     """A Dragonfly topology with complete-graph local and global networks.
 
@@ -70,6 +74,11 @@ class Dragonfly:
             arrangement, self.num_groups, self.links_per_group
         )
         self._build_tables()
+
+    @classmethod
+    def from_config(cls, config) -> "Dragonfly":
+        """Build the fabric selected by ``SimConfig.topology`` knobs."""
+        return cls(config.h, p=config.p, a=config.a, arrangement=config.arrangement)
 
     # ------------------------------------------------------------------ ids
     def group_of(self, router: int) -> int:

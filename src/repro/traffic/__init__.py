@@ -17,8 +17,11 @@ from repro.traffic.extra import (
     TraceReplay,
 )
 from repro.traffic.processes import BernoulliTraffic, BurstTraffic
+from repro.registry import PATTERN_REGISTRY, PROCESS_REGISTRY
 
 __all__ = [
+    "PATTERN_REGISTRY",
+    "PROCESS_REGISTRY",
     "TrafficPattern",
     "UniformRandom",
     "AdversarialGlobal",

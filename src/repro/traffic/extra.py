@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import random
 
-from repro.topology.dragonfly import Dragonfly
+from repro.registry import PATTERN_REGISTRY, PROCESS_REGISTRY
+from repro.topology.base import Topology
 from repro.traffic.patterns import TrafficPattern
 
 
+@PATTERN_REGISTRY.register("shift", description="node i sends to node i+offset (mod N)")
 class NodeShift(TrafficPattern):
     """Node-level shift: node ``i`` sends to node ``i + offset (mod N)``."""
 
@@ -23,22 +25,24 @@ class NodeShift(TrafficPattern):
             raise ValueError("shift offset must be non-zero")
         self.offset = offset
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         return (src + self.offset) % topo.num_nodes
 
 
+@PATTERN_REGISTRY.register("bitcomp", description="node i sends to node N-1-i")
 class BitComplement(TrafficPattern):
     """Node ``i`` sends to node ``N-1-i`` (the bit-complement analogue)."""
 
     name = "bitcomp"
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         d = topo.num_nodes - 1 - src
         if d == src:  # odd-sized middle node: bounce to a neighbour
             d = (src + 1) % topo.num_nodes
         return d
 
 
+@PATTERN_REGISTRY.register("tornado", description="group g floods the farthest group g+G//2")
 class GroupTornado(TrafficPattern):
     """Group-level tornado: supernode ``g`` floods ``g + G//2``.
 
@@ -48,7 +52,7 @@ class GroupTornado(TrafficPattern):
 
     name = "tornado"
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         g = topo.group_of(topo.router_of_node(src))
         tg = (g + topo.num_groups // 2) % topo.num_groups
         if tg == g:
@@ -57,6 +61,7 @@ class GroupTornado(TrafficPattern):
         return tg * nodes_per_group + rng.randrange(nodes_per_group)
 
 
+@PATTERN_REGISTRY.register("hotspot", description="a fraction of traffic targets one hot node")
 class Hotspot(TrafficPattern):
     """A fraction of traffic targets a single hot node, the rest is uniform."""
 
@@ -68,13 +73,14 @@ class Hotspot(TrafficPattern):
         self.hot_node = hot_node
         self.fraction = fraction
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         if rng.random() < self.fraction and self.hot_node != src:
             return self.hot_node
         d = rng.randrange(topo.num_nodes - 1)
         return d if d < src else d + 1
 
 
+@PATTERN_REGISTRY.register("permutation", description="a fixed random node permutation")
 class RandomPermutation(TrafficPattern):
     """A fixed random permutation of the nodes (drawn once per instance).
 
@@ -88,7 +94,7 @@ class RandomPermutation(TrafficPattern):
         self.seed = seed
         self._perm: list[int] | None = None
 
-    def _materialize(self, topo: Dragonfly) -> list[int]:
+    def _materialize(self, topo: Topology) -> list[int]:
         if self._perm is None or len(self._perm) != topo.num_nodes:
             rng = random.Random(self.seed)
             n = topo.num_nodes
@@ -102,10 +108,11 @@ class RandomPermutation(TrafficPattern):
             self._perm = perm
         return self._perm
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         return self._materialize(topo)[src]
 
 
+@PROCESS_REGISTRY.register("trace", description="replay explicit (cycle, src, dst) records")
 class TraceReplay:
     """Trace-driven injection: replay explicit ``(cycle, src, dst)`` records.
 

@@ -15,8 +15,10 @@
 from __future__ import annotations
 
 import abc
+import re
 
-from repro.topology.dragonfly import Dragonfly
+from repro.registry import PATTERN_REGISTRY
+from repro.topology.base import Topology
 
 
 class TrafficPattern(abc.ABC):
@@ -25,20 +27,24 @@ class TrafficPattern(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         """A destination node for ``src``; never equal to ``src``."""
 
 
+@PATTERN_REGISTRY.register(
+    "uniform", description="UN: uniform random over all other nodes")
 class UniformRandom(TrafficPattern):
     """UN: uniform over every node except the source."""
 
     name = "uniform"
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         d = rng.randrange(topo.num_nodes - 1)
         return d if d < src else d + 1
 
 
+@PATTERN_REGISTRY.register(
+    "advg", description="ADVG+N: group i floods group i+N over one global link")
 class AdversarialGlobal(TrafficPattern):
     """ADVG+N: random node of supernode ``group(src) + N``."""
 
@@ -49,13 +55,15 @@ class AdversarialGlobal(TrafficPattern):
             raise ValueError("ADVG offset must be non-zero")
         self.offset = offset
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         g = topo.group_of(topo.router_of_node(src))
         tg = (g + self.offset) % topo.num_groups
         nodes_per_group = topo.a * topo.p
         return tg * nodes_per_group + rng.randrange(nodes_per_group)
 
 
+@PATTERN_REGISTRY.register(
+    "advl", description="ADVL+N: router i floods router i+N of the same group")
 class AdversarialLocal(TrafficPattern):
     """ADVL+N: random node of router ``index(src_router) + N`` in the same group."""
 
@@ -66,7 +74,7 @@ class AdversarialLocal(TrafficPattern):
             raise ValueError("ADVL offset must be non-zero")
         self.offset = offset
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         r = topo.router_of_node(src)
         g = topo.group_of(r)
         tgt_idx = (topo.index_in_group(r) + self.offset) % topo.a
@@ -76,6 +84,8 @@ class AdversarialLocal(TrafficPattern):
         return topo.node_id(tr, rng.randrange(topo.p))
 
 
+@PATTERN_REGISTRY.register(
+    "mixed", description="ADVG+h with probability p, else ADVL+1 (Figs 6/9)")
 class MixedGlobalLocal(TrafficPattern):
     """ADVG+h with probability ``p_global``, otherwise ADVL+1 (Figures 6/9)."""
 
@@ -88,28 +98,43 @@ class MixedGlobalLocal(TrafficPattern):
         self.advg = AdversarialGlobal(global_offset)
         self.advl = AdversarialLocal(local_offset)
 
-    def dest(self, src: int, topo: Dragonfly, rng) -> int:
+    def dest(self, src: int, topo: Topology, rng) -> int:
         if rng.random() < self.p_global:
             return self.advg.dest(src, topo, rng)
         return self.advl.dest(src, topo, rng)
 
 
-def pattern_by_name(name: str, topo: Dragonfly, **kwargs) -> TrafficPattern:
+#: exact spec grammars handled before the registry fallback
+_ADVG_SPEC = re.compile(r"advg(?:\+(h|-?\d+))?$")
+_ADVL_SPEC = re.compile(r"advl(?:\+(-?\d+))?$")
+_MIXED_SPEC = re.compile(r"mixed(?::(\d+(?:\.\d+)?))?$")
+
+
+def pattern_by_name(name: str, topo: Topology, **kwargs) -> TrafficPattern:
     """Build a pattern from a spec name.
 
-    Recognised: ``uniform``, ``advg+N``, ``advl+N``, ``advg`` (N=1),
-    ``advg+h`` (N=h), ``mixed:P`` (P percent global).
+    Recognised specs: ``uniform``, ``advg+N``, ``advl+N``, ``advg``
+    (N=1), ``advg+h`` (N=h), ``mixed:P`` (P percent global).  Any other
+    name — including registered names that merely share a spec prefix —
+    is resolved through ``PATTERN_REGISTRY`` and constructed with
+    ``**kwargs``, so registered third-party patterns work everywhere a
+    spec string is accepted (sweeps, CLI, Session).
     """
     if name == "uniform":
         return UniformRandom()
-    if name.startswith("advg"):
-        off = name[5:] if name.startswith("advg+") else "1"
-        offset = topo.h if off == "h" else int(off or 1)
-        return AdversarialGlobal(offset)
-    if name.startswith("advl"):
-        off = name[5:] if name.startswith("advl+") else "1"
-        return AdversarialLocal(int(off or 1))
-    if name.startswith("mixed"):
-        pct = float(name.split(":", 1)[1]) if ":" in name else kwargs.get("p_global", 50.0)
+    if m := _ADVG_SPEC.match(name):
+        off = m.group(1)
+        return AdversarialGlobal(topo.h if off == "h" else int(off or 1))
+    if m := _ADVL_SPEC.match(name):
+        return AdversarialLocal(int(m.group(1) or 1))
+    if m := _MIXED_SPEC.match(name):
+        pct = float(m.group(1)) if m.group(1) else kwargs.get("p_global", 50.0)
         return MixedGlobalLocal(pct / 100.0, global_offset=topo.h)
-    raise ValueError(f"unknown traffic pattern {name!r}")
+    cls = PATTERN_REGISTRY.get(name)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"traffic pattern {name!r} cannot be built from a bare name: {exc}; "
+            "pass its constructor arguments as keyword arguments"
+        ) from None

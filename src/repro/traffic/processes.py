@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from repro.registry import PROCESS_REGISTRY
 from repro.traffic.patterns import TrafficPattern
 
 
+@PROCESS_REGISTRY.register("bernoulli", description="open-loop Bernoulli sources at a fixed offered load")
 class BernoulliTraffic:
     """Open-loop Bernoulli sources (the paper's steady-state experiments).
 
@@ -37,6 +39,7 @@ class BernoulliTraffic:
                     sim.inject_packet(node, d, now)
 
 
+@PROCESS_REGISTRY.register("burst", description="each node queues a fixed burst at cycle 0")
 class BurstTraffic:
     """Burst-consumption experiment: each node queues a burst at cycle 0.
 

@@ -42,3 +42,48 @@ def test_run_json_dir(tmp_path, capsys):
 def test_run_unknown_experiment():
     with pytest.raises(ValueError):
         main(["run", "figZZ"])
+
+
+def test_list_components(capsys):
+    assert main(["list-components"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("topology:", "routing:", "flow-control:", "arbitration:",
+                 "traffic-pattern:", "traffic-process:"):
+        assert kind in out
+    for name in ("dragonfly", "olm", "vct", "rr", "uniform", "bernoulli"):
+        assert name in out
+
+
+def test_point_command_round_trips_config(tmp_path, capsys):
+    from repro.network.config import SimConfig
+
+    cfg_path = tmp_path / "cfg.json"
+    cfg_path.write_text(json.dumps(SimConfig(h=2, routing="minimal").to_dict()))
+    out_path = tmp_path / "point.json"
+    assert main(["point", "--config", str(cfg_path), "--pattern", "uniform",
+                 "--load", "0.2", "--warmup", "200", "--measure", "200",
+                 "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["config"]["routing"] == "minimal"
+    assert payload["result"]["delivered"] > 0
+    assert "latency_p99" in payload["result"]
+
+
+def test_point_emits_strict_json_for_empty_window(tmp_path, capsys):
+    out_path = tmp_path / "empty.json"
+    assert main(["point", "--load", "0.0", "--warmup", "0", "--measure", "5",
+                 "--json", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "NaN" not in text  # strict-JSON consumers must be able to parse it
+    payload = json.loads(text)
+    assert payload["result"]["delivered"] == 0
+    assert payload["result"]["mean_latency"] is None
+    capsys.readouterr()
+
+
+def test_point_command_rejects_bad_config(tmp_path, capsys):
+    cfg_path = tmp_path / "bad.json"
+    cfg_path.write_text(json.dumps({"rooting": "olm"}))
+    with pytest.raises(ValueError, match="unknown SimConfig field"):
+        main(["point", "--config", str(cfg_path), "--measure", "10"])

@@ -42,3 +42,48 @@ def test_paper_presets():
 def test_explicit_pb_update_period_kept():
     cfg = SimConfig(pb_update_period=25)
     assert cfg.pb_update_period == 25
+
+
+def test_with_recomputes_derived_defaults():
+    """The auto pb_update_period must track a new local_latency (stale-default fix)."""
+    cfg = SimConfig()
+    assert cfg.with_(local_latency=20).pb_update_period == 20
+    # chained copies keep re-deriving
+    assert cfg.with_(local_latency=20).with_(local_latency=7).pb_update_period == 7
+    # an explicit period survives any with_()
+    explicit = SimConfig(pb_update_period=25)
+    assert explicit.with_(local_latency=50).pb_update_period == 25
+    # and with_ can still set the period directly
+    assert cfg.with_(pb_update_period=3).pb_update_period == 3
+    assert cfg.with_(pb_update_period=3).with_(local_latency=40).pb_update_period == 3
+
+
+def test_to_dict_from_dict_round_trip():
+    cfg = SimConfig(h=3, routing="rlm", flow_control="wh", packet_phits=80,
+                    threshold=0.6, seed=9)
+    data = cfg.to_dict()
+    import json
+
+    json.dumps(data)  # JSON-safe
+    clone = SimConfig.from_dict(data)
+    assert clone == cfg
+    # the auto-derived period serializes as None so round-trips stay auto
+    assert data["pb_update_period"] is None
+    assert clone.with_(local_latency=21).pb_update_period == 21
+    # explicit values serialize as-is
+    assert SimConfig(pb_update_period=25).to_dict()["pb_update_period"] == 25
+
+
+def test_from_dict_rejects_unknown_keys():
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError, match="unknown SimConfig field"):
+        SimConfig.from_dict({"h": 2, "rooting": "olm"})
+    with _pytest.raises(ValueError, match="needs a dict"):
+        SimConfig.from_dict([("h", 2)])
+
+
+def test_topology_field_defaults_and_validates():
+    assert SimConfig().topology == "dragonfly"
+    with pytest.raises(ValueError, match="unknown topology"):
+        SimConfig(topology="hypercube")

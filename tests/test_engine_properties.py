@@ -1,6 +1,5 @@
 """Property-based engine tests: random configurations, fixed invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.paritysign import (
-    CANONICAL_ORDER,
     EVEN_MINUS,
     EVEN_PLUS,
     ODD_MINUS,

@@ -6,7 +6,10 @@ import pytest
 
 PUBLIC_MODULES = [
     "repro",
+    "repro.registry",
+    "repro.facade",
     "repro.topology",
+    "repro.topology.base",
     "repro.topology.dragonfly",
     "repro.topology.arrangements",
     "repro.topology.ring",
@@ -15,6 +18,7 @@ PUBLIC_MODULES = [
     "repro.network.config",
     "repro.network.packet",
     "repro.network.flowcontrol",
+    "repro.network.arbitration",
     "repro.network.buffers",
     "repro.network.ports",
     "repro.network.router",
@@ -89,3 +93,40 @@ def test_public_classes_have_docstrings():
         assert cls.__doc__
         assert any(getattr(base, "decide", None) and base.decide.__doc__
                    for base in cls.__mro__)
+
+
+def test_facade_and_registry_exports_pinned():
+    """The Session/registry surface of the redesigned public API."""
+    import repro
+
+    for name in ("session", "Session", "RunResult", "Registry",
+                 "UnknownComponentError", "DuplicateComponentError",
+                 "all_registries", "TOPOLOGY_REGISTRY", "ROUTING_REGISTRY",
+                 "FLOW_CONTROL_REGISTRY", "ARBITER_REGISTRY",
+                 "PATTERN_REGISTRY", "PROCESS_REGISTRY", "Topology"):
+        assert name in repro.__all__, name
+        assert getattr(repro, name) is not None
+
+
+def test_backward_compat_shims_unchanged():
+    """Pre-redesign imports keep working exactly as documented."""
+    from repro import SimConfig, Simulator, build_simulator  # noqa: F401
+    from repro.core import ROUTING_REGISTRY, routing_by_name
+    from repro.network.flowcontrol import flow_control_by_name
+
+    sim = build_simulator(SimConfig(h=2, routing="minimal"))
+    assert sim.on_packet_delivered is None  # legacy hook still present
+    assert routing_by_name("olm").name == "olm"
+    assert flow_control_by_name("wh", flit_size=4).flit_size == 4
+    assert "olm" in ROUTING_REGISTRY
+
+
+def test_simulator_is_topology_agnostic():
+    """The engine resolves the fabric via TOPOLOGY_REGISTRY, never directly."""
+    import inspect
+
+    import repro.network.simulator as engine
+
+    src = inspect.getsource(engine)
+    assert "Dragonfly" not in src
+    assert "TOPOLOGY_REGISTRY" in src

@@ -4,7 +4,6 @@ These pin down the exact outputs and VCs each mechanism picks in
 unambiguous situations, complementing the statistical discipline tests.
 """
 
-import pytest
 
 from repro.core.base import Decision
 from repro.network.config import SimConfig
@@ -82,7 +81,6 @@ def test_adaptive_minimal_first_on_quiet_network():
         dst = sim.topo.node_id(sim.topo.router_id(4, 1), 0)
         pkt, flit, router = head_flit(sim, 0, dst)
         dec = sim.algo.decide(router, pkt, 0, flit)
-        out = router.outputs[dec.out]
         mout, mkind, _ = sim.algo.minimal_next(router, pkt)
         assert dec.out == mout, routing
         assert not dec.is_local_misroute

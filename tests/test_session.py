@@ -1,0 +1,189 @@
+"""The Session/RunResult facade and the multi-observer delivery hook."""
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+import repro
+from repro import RunResult, Session, SimConfig, session
+from repro.traffic import BernoulliTraffic, BurstTraffic, MixedGlobalLocal, UniformRandom
+
+
+def test_session_measure_returns_frozen_run_result():
+    cfg = SimConfig(h=2, routing="olm", seed=3)
+    result = session(cfg, pattern="uniform", load=0.4).warmup(800).measure(800)
+    assert isinstance(result, RunResult)
+    assert result.kind == "measure"
+    assert result.delivered > 0
+    assert result.window_cycles == 800
+    assert result.start_cycle == 800 and result.end_cycle == 1600
+    assert 0 < result.throughput <= 1.0
+    assert result.mean_latency > 0
+    assert result.latency_p50 <= result.latency_p95 <= result.latency_p99
+    assert result.latency_p99 <= result.max_latency
+    assert result.drain_cycles is None
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        result.delivered = 0
+    json.dumps(result.to_dict())  # JSON-safe
+
+
+def test_session_matches_manual_simulator_loop():
+    cfg = SimConfig(h=2, routing="rlm", seed=11)
+    facade = session(cfg, pattern="advg+1", load=0.2).warmup(600).measure(600)
+
+    sim = repro.build_simulator(cfg)
+    from repro.traffic.patterns import pattern_by_name
+
+    sim.traffic = BernoulliTraffic(pattern_by_name("advg+1", sim.topo), 0.2)
+    sim.run(600)
+    sim.stats.reset(sim.now)
+    sim.run(600)
+    assert facade.delivered == sim.stats.delivered
+    assert facade.mean_latency == pytest.approx(sim.stats.mean_latency())
+    assert facade.throughput == pytest.approx(
+        sim.stats.throughput(sim.topo.num_nodes, sim.now))
+
+
+def test_session_drain_reports_drain_cycles():
+    cfg = SimConfig(h=2, routing="olm", seed=5)
+    s = session(cfg, traffic=BurstTraffic(MixedGlobalLocal(0.5, 2), 5))
+    result = s.drain(500_000)
+    assert result.kind == "drain"
+    assert result.drain_cycles and result.drain_cycles > 0
+    assert result.delivered == result.generated > 0
+    assert s.sim.packets_in_flight == 0
+
+
+def test_session_chaining_and_accessors():
+    cfg = SimConfig(h=2, routing="minimal", seed=1)
+    s = session(cfg)
+    assert s.config is cfg
+    assert isinstance(s, Session)
+    assert s.bernoulli("uniform", 0.1) is s
+    assert s.run(50) is s and s.now == 50
+    assert s.warmup(50) is s and s.now == 100
+    assert s.sim.stats.window_start == 100
+
+
+def test_session_argument_validation():
+    with pytest.raises(ValueError, match="needs a SimConfig"):
+        session()
+    with pytest.raises(ValueError, match="requires an offered load"):
+        session(SimConfig(), pattern="uniform")
+    with pytest.raises(ValueError, match="requires a pattern"):
+        session(SimConfig(), load=0.5)
+    with pytest.raises(ValueError, match="not both"):
+        session(SimConfig(), traffic=BurstTraffic(MixedGlobalLocal(0.5, 2), 1),
+                pattern="uniform", load=0.5)
+    # a prebuilt sim with a *different* config is a loud error, not silence
+    sim = repro.build_simulator(SimConfig(routing="minimal"))
+    with pytest.raises(ValueError, match="prebuilt sim"):
+        session(SimConfig(routing="olm"), sim=sim)
+    assert session(sim.config, sim=sim).config is sim.config
+    # an equal-but-distinct config is accepted (value equality, not identity)
+    clone = SimConfig.from_dict(sim.config.to_dict())
+    assert session(clone, sim=sim).sim is sim
+
+
+def test_empty_window_yields_nan_percentiles():
+    result = session(SimConfig(routing="minimal")).measure(10)
+    assert result.delivered == 0
+    assert math.isnan(result.latency_p50)
+    assert math.isnan(result.mean_latency)
+
+
+# ---------------------------------------------------------------- observers
+def test_multiple_delivery_observers_all_fire():
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=2),
+                                BernoulliTraffic(UniformRandom(), 0.3))
+    seen_a, seen_b = [], []
+    sim.add_delivery_observer(lambda pkt, now: seen_a.append(pkt.pid))
+
+    @sim.add_delivery_observer
+    def _record(pkt, now):
+        seen_b.append((pkt.pid, now))
+
+    sim.run(600)
+    assert seen_a and len(seen_a) == len(seen_b) == sim.stats.delivered
+    sim.remove_delivery_observer(_record)
+    before = len(seen_b)
+    sim.run(200)
+    assert len(seen_b) == before  # detached
+    assert len(seen_a) == sim.stats.delivered  # still attached
+
+
+def test_legacy_on_packet_delivered_shim():
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=2),
+                                BernoulliTraffic(UniformRandom(), 0.3))
+    first, second, extra = [], [], []
+    sim.add_delivery_observer(lambda pkt, now: extra.append(pkt.pid))
+    sim.on_packet_delivered = lambda pkt, now: first.append(pkt.pid)
+    assert sim.on_packet_delivered is not None
+    # reassigning replaces the legacy hook but leaves other observers alone
+    sim.on_packet_delivered = lambda pkt, now: second.append(pkt.pid)
+    sim.run(400)
+    assert not first
+    assert second and len(second) == len(extra) == sim.stats.delivered
+    sim.on_packet_delivered = None
+    sim.run(100)
+    assert len(second) < sim.stats.delivered  # detached via the shim
+    assert len(extra) == sim.stats.delivered
+
+
+def test_legacy_shim_tolerates_manual_removal():
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=3))
+    hook = lambda pkt, now: None
+    sim.on_packet_delivered = hook
+    sim.remove_delivery_observer(hook)  # mixing both APIs must not corrupt state
+    sim.on_packet_delivered = None  # must not raise
+    replacement = lambda pkt, now: None
+    sim.on_packet_delivered = replacement
+    assert sim._delivery_observers.count(replacement) == 1
+
+
+def test_observer_may_detach_itself_without_skipping_others():
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=6),
+                                BernoulliTraffic(UniformRandom(), 0.3))
+    events = []
+
+    def one_shot(pkt, now):
+        events.append("one_shot")
+        sim.remove_delivery_observer(one_shot)
+
+    after = []
+    sim.add_delivery_observer(one_shot)
+    sim.add_delivery_observer(lambda pkt, now: after.append(pkt.pid))
+    sim.run(400)
+    assert events == ["one_shot"]
+    # the observer registered after the self-removing one still saw every delivery
+    assert len(after) == sim.stats.delivered > 1
+
+
+def test_session_close_detaches_from_prebuilt_sim():
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=7),
+                                BernoulliTraffic(UniformRandom(), 0.3))
+    baseline = len(sim._delivery_observers)
+    sessions = [Session(sim=sim) for _ in range(3)]
+    assert len(sim._delivery_observers) == baseline + 3
+    for s in sessions:
+        s.close()
+        s.close()  # idempotent
+    assert len(sim._delivery_observers) == baseline
+
+
+def test_latency_probe_observer():
+    from repro.metrics.probes import LatencyProbe
+
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=4),
+                                BernoulliTraffic(UniformRandom(), 0.2))
+    probe = LatencyProbe(sim)
+    sim.run(500)
+    assert len(probe.latencies) == sim.stats.delivered > 0
+    assert max(probe.latencies) == sim.stats.latency_max
+    probe.detach()
+    probe.detach()  # idempotent
+    count = len(probe.latencies)
+    sim.run(200)
+    assert len(probe.latencies) == count

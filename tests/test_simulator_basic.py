@@ -19,7 +19,6 @@ def deliver_one(sim, src, dst):
 
 def test_same_router_delivery_timing():
     sim = build_sim("minimal")
-    p = sim.topo.p
     pkt = deliver_one(sim, 0, 1)  # two nodes of router 0
     path = replay_path(sim, pkt)
     assert [k for k, *_ in path] == [EJECT]

@@ -1,6 +1,5 @@
 """SVG chart renderer tests."""
 
-import math
 import xml.etree.ElementTree as ET
 
 import pytest

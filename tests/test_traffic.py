@@ -85,8 +85,12 @@ def test_pattern_by_name_parsing():
     mixed = pattern_by_name("mixed:25", TOPO)
     assert mixed.p_global == pytest.approx(0.25)
     assert mixed.advg.offset == TOPO.h
-    with pytest.raises(ValueError):
-        pattern_by_name("tornado", TOPO)
+    # registered extras resolve through PATTERN_REGISTRY fallback
+    from repro.traffic.extra import GroupTornado
+
+    assert isinstance(pattern_by_name("tornado", TOPO), GroupTornado)
+    with pytest.raises(ValueError, match="unknown traffic pattern"):
+        pattern_by_name("whirlwind", TOPO)
 
 
 def test_bernoulli_load_statistics():

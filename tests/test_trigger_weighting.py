@@ -1,6 +1,5 @@
 """UGAL-style hop weighting of global misroute candidates."""
 
-import pytest
 
 from repro.network.config import SimConfig
 from repro.network.simulator import Simulator

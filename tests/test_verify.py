@@ -1,6 +1,5 @@
 """Shape-verification module: claim predicates and markdown rendering."""
 
-import pytest
 
 from repro.experiments.verify import (
     CHECKS,

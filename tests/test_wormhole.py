@@ -8,7 +8,7 @@ from repro.topology.dragonfly import PortKind
 from repro.traffic.patterns import UniformRandom
 from repro.traffic.processes import BernoulliTraffic
 
-from tests.helpers import EJECT, GLOBAL, LOCAL, replay_path
+from tests.helpers import EJECT, LOCAL, replay_path
 
 
 def wh_sim(**over):
