@@ -51,7 +51,16 @@ from repro.registry import (
     UnknownComponentError,
     all_registries,
 )
-from repro.facade import RunResult, Session, session
+from repro.facade import RunResult, Session, run_drain, run_point, session
+from repro.runplan import (
+    EXECUTOR_REGISTRY,
+    ResultCache,
+    RunPoint,
+    RunSpec,
+    aggregate_replicas,
+    execute,
+    replica_seeds,
+)
 
 __version__ = "1.1.0"
 
@@ -65,6 +74,16 @@ __all__ = [
     "session",
     "Session",
     "RunResult",
+    "run_point",
+    "run_drain",
+    # run plans (parallel execution, caching, replication)
+    "RunSpec",
+    "RunPoint",
+    "execute",
+    "replica_seeds",
+    "aggregate_replicas",
+    "ResultCache",
+    "EXECUTOR_REGISTRY",
     # registries
     "Registry",
     "UnknownComponentError",

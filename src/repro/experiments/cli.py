@@ -5,20 +5,42 @@ Examples::
     dragonfly-repro list
     dragonfly-repro list-components
     dragonfly-repro run fig5c --scale tiny --seed 2
-    dragonfly-repro run tab1
     dragonfly-repro run all --scale smoke --json-dir results/
+    dragonfly-repro run fig5a --jobs 4 --seeds 3 --cache .runcache
     dragonfly-repro point --pattern advg+h --load 0.3 --config cfg.json
+    dragonfly-repro sweep --routing olm --pattern uniform --loads 0.1,0.3,0.5 \\
+        --jobs 4 --seeds 3 --cache .runcache
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.reporting import format_result, save_result
+
+
+def _loads_list(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(tok) for tok in text.split(",") if tok.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--loads wants comma-separated floats, got {text!r}") from None
+
+
+def _add_plan_arguments(cmd: argparse.ArgumentParser) -> None:
+    """Run-plan execution knobs shared by ``run`` and ``sweep``."""
+    cmd.add_argument("--jobs", "--workers", type=int, default=1, dest="jobs",
+                     help="process-pool size (1 = serial executor)")
+    cmd.add_argument("--seeds", type=int, default=1,
+                     help="seed replicas per point; >1 reports mean ± 95%% CI")
+    cmd.add_argument("--cache", metavar="DIR",
+                     help="content-addressed result cache directory "
+                          "(hits are replayed instead of re-simulated)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,8 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="tiny",
                      help="tiny (h=2, default) | smoke | small (h=3) | paper (h=8, slow)")
     run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--workers", type=int, default=1,
-                     help="process-pool size for load sweeps (1 = serial)")
+    _add_plan_arguments(run)
     run.add_argument("--json", help="write the result to this JSON file")
     run.add_argument("--json-dir", help="write one JSON per experiment into this directory")
     run.add_argument("--svg-dir", help="render one SVG figure per experiment into this directory")
@@ -54,6 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
     point.add_argument("--warmup", type=int, default=2000)
     point.add_argument("--measure", type=int, default=2000)
     point.add_argument("--json", help="write config + result JSON to this file")
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative load sweep through the run-plan layer")
+    sweep.add_argument("--config",
+                       help="SimConfig JSON file; overrides --preset/--routing")
+    sweep.add_argument("--preset", default="vct", choices=("vct", "wh"),
+                       help="paper flow-control preset (default vct)")
+    sweep.add_argument("--routing", default="olm",
+                       help="routing mechanism (see list-components)")
+    sweep.add_argument("--pattern", default="uniform",
+                       help="traffic pattern spec (uniform, advg+h, mixed:40, ...)")
+    sweep.add_argument("--loads", type=_loads_list,
+                       help="comma-separated offered loads "
+                            "(default: the scale's load grid)")
+    sweep.add_argument("--scale", default="tiny",
+                       help="scale preset fixing h and the measurement windows")
+    sweep.add_argument("--warmup", type=int, help="override the scale's warm-up cycles")
+    sweep.add_argument("--measure", type=int, help="override the scale's measure cycles")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="base seed (default: the --config file's seed, else 1)")
+    _add_plan_arguments(sweep)
+    sweep.add_argument("--executor",
+                       help="executor name (default: 'process' when --jobs > 1, "
+                            "else 'serial'; see repro.runplan.EXECUTOR_REGISTRY)")
+    sweep.add_argument("--raw", action="store_true",
+                       help="emit one record per seed instead of mean ± CI")
+    sweep.add_argument("--json", help="write the sweep payload to this JSON file")
     return p
 
 
@@ -70,9 +117,18 @@ def _list_components() -> None:
         print()
 
 
-def _run_point(args) -> None:
-    import math
+def _sanitize(obj):
+    """NaN (empty measurement window) is not valid strict JSON: emit null."""
+    if isinstance(obj, float) and math.isnan(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: _sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_sanitize(v) for v in obj]
+    return obj
 
+
+def _run_point(args) -> None:
     from repro.facade import session
     from repro.network.config import SimConfig
 
@@ -86,10 +142,49 @@ def _run_point(args) -> None:
         "config": config.to_dict(),
         "pattern": args.pattern,
         "load": args.load,
-        # NaN (empty measurement window) is not valid JSON: emit null
-        "result": {k: None if isinstance(v, float) and math.isnan(v) else v
-                   for k, v in result.to_dict().items()},
+        "result": _sanitize(result.to_dict()),
     }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.json:
+        save_result(payload, args.json)
+
+
+def _run_sweep(args) -> None:
+    from repro.experiments.presets import get_scale, preset_config
+    from repro.network.config import SimConfig
+    from repro.runplan import RunSpec, execute, executor_for_jobs, replica_seeds
+
+    scale = get_scale(args.scale)
+    if args.config:
+        config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
+        if args.seed is not None:
+            config = config.with_(seed=args.seed)
+    else:
+        config = preset_config(args.preset, scale=scale, routing=args.routing,
+                               seed=1 if args.seed is None else args.seed)
+    loads = args.loads or (scale.loads_uniform if args.pattern == "uniform"
+                           else scale.loads_adversarial)
+    spec = RunSpec(
+        config=config, pattern=args.pattern, loads=tuple(loads),
+        warmup=scale.warmup if args.warmup is None else args.warmup,
+        measure=scale.measure if args.measure is None else args.measure,
+        seeds=replica_seeds(config.seed, args.seeds),
+        series=config.routing,
+    )
+    executor = args.executor or executor_for_jobs(args.jobs)
+    records = execute(spec, executor=executor, jobs=args.jobs,
+                      cache=args.cache, aggregate=not args.raw and args.seeds > 1)
+    payload = _sanitize({
+        "config": config.to_dict(),
+        "pattern": spec.pattern,
+        "loads": list(spec.loads),
+        "warmup": spec.warmup,
+        "measure": spec.measure,
+        "seeds": list(spec.seeds),
+        "executor": executor,
+        "jobs": args.jobs,
+        "records": records,
+    })
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.json:
         save_result(payload, args.json)
@@ -107,10 +202,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "point":
         _run_point(args)
         return 0
+    if args.command == "sweep":
+        _run_sweep(args)
+        return 0
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
         result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
-                                workers=args.workers)
+                                workers=args.jobs, seeds=args.seeds,
+                                cache=args.cache)
         print(format_result(result))
         print()
         if args.json and len(ids) == 1:

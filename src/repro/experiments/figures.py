@@ -3,13 +3,25 @@
 Figure pairs that share simulations (4a/5a are the latency and
 throughput of the same sweep) are produced by a single runner; the
 registry exposes per-figure ids that project the shared records.
+
+Every runner builds a declarative run plan (:mod:`repro.runplan`) —
+one :class:`~repro.runplan.RunSpec` per curve — and executes the whole
+figure through a single executor pass, so ``workers > 1`` parallelises
+across *all* curves at once, ``cache=`` replays already-computed points
+and ``seeds > 1`` replicates every point and reports mean ± 95% CI.
 """
 
 from __future__ import annotations
 
 from repro.core.paritysign import CANONICAL_ORDER, TYPE_NAMES, build_allowed_table
-from repro.experiments.presets import get_scale, preset_config
-from repro.experiments.sweeps import burst_drain, load_sweep, mixed_sweep, threshold_sweep
+from repro.experiments.presets import get_scale, preset_config, preset_runspec
+from repro.runplan import (
+    RunSpec,
+    execute,
+    executor_for_jobs,
+    replica_seeds,
+    series_map,
+)
 
 #: mechanisms plotted per figure family (paper legend order)
 VCT_UN_MECHS = ("par62", "olm", "rlm", "minimal", "pb")
@@ -23,126 +35,167 @@ MIX_PERCENTAGES = (0, 20, 40, 60, 80, 100)
 THRESHOLDS = (0.30, 0.40, 0.45, 0.50, 0.60)
 
 
+def _figure(specs, scale, pattern: str, order, *, workers=1, seeds=1,
+            cache=None) -> dict:
+    """Execute a figure's specs in one pass and group records per curve."""
+    records = execute(specs, executor=executor_for_jobs(workers), jobs=workers,
+                      cache=cache, aggregate=seeds > 1)
+    return {"pattern": pattern, "scale": scale.name, "seeds": seeds,
+            "series": series_map(records, order)}
+
+
 def _sweep(mechs, preset: str, scale, pattern: str, loads, seed: int,
-           workers: int = 1) -> dict:
+           workers: int = 1, seeds: int = 1, cache=None) -> dict:
     scale = get_scale(scale)
-    loads = tuple(loads or _loads(scale, pattern))
-    configs = {m: preset_config(preset, scale=scale, routing=m, seed=seed)
-               for m in mechs}
-    if workers and workers > 1:
-        from repro.experiments.parallel import parallel_multi_sweep
-
-        spec = [(m, configs[m], pattern) for m in mechs]
-        series = parallel_multi_sweep(spec, loads, scale.warmup, scale.measure, workers)
-    else:
-        series = {
-            mech: load_sweep(configs[mech], pattern, loads,
-                             scale.warmup, scale.measure)
-            for mech in mechs
-        }
-    return {"pattern": pattern, "scale": scale.name, "series": series}
-
-
-def _loads(scale, pattern: str):
-    return scale.loads_uniform if pattern == "uniform" else scale.loads_adversarial
+    loads = tuple(loads) if loads is not None else None
+    specs = [
+        preset_runspec(preset, scale=scale, routing=mech, pattern=pattern,
+                       loads=loads, seed=seed, seeds=seeds)
+        for mech in mechs
+    ]
+    return _figure(specs, scale, pattern, mechs,
+                   workers=workers, seeds=seeds, cache=cache)
 
 
 # ------------------------------------------------------------ VCT (Figs 4/5)
-def sweep_vct_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_vct_uniform(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                      cache=None) -> dict:
     """Figures 4a + 5a: UN traffic, VCT."""
-    return _sweep(VCT_UN_MECHS, "vct", scale, "uniform", loads, seed, workers)
+    return _sweep(VCT_UN_MECHS, "vct", scale, "uniform", loads, seed,
+                  workers, seeds, cache)
 
 
-def sweep_vct_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_vct_advg1(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                    cache=None) -> dict:
     """Figures 4b + 5b: ADVG+1, VCT."""
-    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+1", loads, seed, workers)
+    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+1", loads, seed,
+                  workers, seeds, cache)
 
 
-def sweep_vct_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_vct_advgh(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                    cache=None) -> dict:
     """Figures 4c + 5c: ADVG+h, VCT (pathological local saturation)."""
-    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+h", loads, seed, workers)
+    return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+h", loads, seed,
+                  workers, seeds, cache)
 
 
 # ------------------------------------------------------------- WH (Figs 7/8)
-def sweep_wh_uniform(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_wh_uniform(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                     cache=None) -> dict:
     """Figures 7a + 8a: UN traffic, WH."""
-    return _sweep(WH_UN_MECHS, "wh", scale, "uniform", loads, seed, workers)
+    return _sweep(WH_UN_MECHS, "wh", scale, "uniform", loads, seed,
+                  workers, seeds, cache)
 
 
-def sweep_wh_advg1(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_wh_advg1(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                   cache=None) -> dict:
     """Figures 7b + 8b: ADVG+1, WH."""
-    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+1", loads, seed, workers)
+    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+1", loads, seed,
+                  workers, seeds, cache)
 
 
-def sweep_wh_advgh(scale="tiny", loads=None, seed=1, workers=1) -> dict:
+def sweep_wh_advgh(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                   cache=None) -> dict:
     """Figures 7c + 8c: ADVG+h, WH."""
-    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+h", loads, seed, workers)
+    return _sweep(WH_ADV_MECHS, "wh", scale, "advg+h", loads, seed,
+                  workers, seeds, cache)
 
 
 # ------------------------------------------------ mixed + burst (Figs 6 / 9)
-def mixed_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+def _mixed_specs(mechs, preset: str, scale, percentages, seed, seeds):
+    return [
+        RunSpec(config=preset_config(preset, scale=scale, routing=mech, seed=seed),
+                pattern=f"mixed:{pct}", loads=(1.0,),
+                warmup=scale.warmup, measure=scale.measure,
+                seeds=replica_seeds(seed, seeds),
+                series=mech, coords=(("global_pct", pct),))
+        for mech in mechs
+        for pct in percentages
+    ]
+
+
+def _burst_specs(mechs, preset: str, scale, percentages, packets_per_node,
+                 seed, seeds):
+    return [
+        RunSpec(config=preset_config(preset, scale=scale, routing=mech, seed=seed),
+                pattern=f"mixed:{pct}", kind="drain",
+                packets_per_node=packets_per_node,
+                max_cycles=scale.max_drain_cycles,
+                seeds=replica_seeds(seed, seeds),
+                series=mech, coords=(("global_pct", pct),))
+        for mech in mechs
+        for pct in percentages
+    ]
+
+
+def mixed_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
+              seeds=1, cache=None) -> dict:
     """Figure 6a: ADVG+h/ADVL+1 mix throughput at offered load 1.0, VCT."""
     scale = get_scale(scale)
-    series = {
-        mech: mixed_sweep(preset_config("vct", scale=scale, routing=mech, seed=seed),
-                          percentages, 1.0, scale.warmup, scale.measure)
-        for mech in VCT_MIX_MECHS
-    }
-    return {"pattern": "mixed", "scale": scale.name, "series": series}
+    specs = _mixed_specs(VCT_MIX_MECHS, "vct", scale, percentages, seed, seeds)
+    return _figure(specs, scale, "mixed", VCT_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
 
 
-def burst_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+def burst_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
+              seeds=1, cache=None) -> dict:
     """Figure 6b: burst-consumption time under the ADVG/ADVL mix, VCT."""
     scale = get_scale(scale)
-    series = {
-        mech: burst_drain(preset_config("vct", scale=scale, routing=mech, seed=seed),
-                          percentages, scale.burst_vct, scale.max_drain_cycles)
-        for mech in VCT_MIX_MECHS
-    }
-    return {"pattern": "burst", "scale": scale.name, "series": series}
+    specs = _burst_specs(VCT_MIX_MECHS, "vct", scale, percentages,
+                         scale.burst_vct, seed, seeds)
+    return _figure(specs, scale, "burst", VCT_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
 
 
-def mixed_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+def mixed_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
+             seeds=1, cache=None) -> dict:
     """Figure 9a: mix throughput, WH."""
     scale = get_scale(scale)
-    series = {
-        mech: mixed_sweep(preset_config("wh", scale=scale, routing=mech, seed=seed),
-                          percentages, 1.0, scale.warmup, scale.measure)
-        for mech in WH_MIX_MECHS
-    }
-    return {"pattern": "mixed", "scale": scale.name, "series": series}
+    specs = _mixed_specs(WH_MIX_MECHS, "wh", scale, percentages, seed, seeds)
+    return _figure(specs, scale, "mixed", WH_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
 
 
-def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1) -> dict:
+def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
+             seeds=1, cache=None) -> dict:
     """Figure 9b: burst-consumption time, WH (payload matched to Fig 6b)."""
     scale = get_scale(scale)
-    series = {
-        mech: burst_drain(preset_config("wh", scale=scale, routing=mech, seed=seed),
-                          percentages, scale.burst_wh, scale.max_drain_cycles)
-        for mech in WH_MIX_MECHS
-    }
-    return {"pattern": "burst", "scale": scale.name, "series": series}
+    specs = _burst_specs(WH_MIX_MECHS, "wh", scale, percentages,
+                         scale.burst_wh, seed, seeds)
+    return _figure(specs, scale, "burst", WH_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
 
 
 # ------------------------------------------------- thresholds (Figs 10 / 11)
-def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
+def _threshold_figure(scale, pattern: str, loads, thresholds, seed, workers,
+                      seeds, cache) -> dict:
+    scale = get_scale(scale)
+    labels = {th: f"th={int(th * 100)}%" for th in thresholds}
+    specs = [
+        RunSpec(config=preset_config("vct", scale=scale, routing="rlm",
+                                     seed=seed).with_(threshold=th),
+                pattern=pattern, loads=tuple(loads),
+                warmup=scale.warmup, measure=scale.measure,
+                seeds=replica_seeds(seed, seeds),
+                series=labels[th], coords=(("threshold", th),))
+        for th in thresholds
+    ]
+    return _figure(specs, scale, pattern, labels.values(),
+                   workers=workers, seeds=seeds, cache=cache)
+
+
+def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1,
+                      seeds=1, cache=None) -> dict:
     """Figure 10: RLM/VCT misrouting-threshold sweep under UN."""
-    scale = get_scale(scale)
-    cfg = preset_config("vct", scale=scale, routing="rlm", seed=seed)
-    series = threshold_sweep(cfg, thresholds, "uniform", scale.loads_uniform,
-                             scale.warmup, scale.measure)
-    return {"pattern": "uniform", "scale": scale.name,
-            "series": {f"th={int(th * 100)}%": pts for th, pts in series.items()}}
+    return _threshold_figure(scale, "uniform", get_scale(scale).loads_uniform,
+                             thresholds, seed, workers, seeds, cache)
 
 
-def threshold_advg1(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1) -> dict:
+def threshold_advg1(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1,
+                    seeds=1, cache=None) -> dict:
     """Figure 11: RLM/VCT misrouting-threshold sweep under ADVG+1."""
-    scale = get_scale(scale)
-    cfg = preset_config("vct", scale=scale, routing="rlm", seed=seed)
-    series = threshold_sweep(cfg, thresholds, "advg+1", scale.loads_adversarial,
-                             scale.warmup, scale.measure)
-    return {"pattern": "advg+1", "scale": scale.name,
-            "series": {f"th={int(th * 100)}%": pts for th, pts in series.items()}}
+    return _threshold_figure(scale, "advg+1", get_scale(scale).loads_adversarial,
+                             thresholds, seed, workers, seeds, cache)
 
 
 # ----------------------------------------------------------------- Table I

@@ -1,28 +1,24 @@
-"""Parallel execution of independent simulation points.
+"""Parallel execution of independent simulation points (compat surface).
 
-Every sweep point is a self-contained simulation (own topology, own
-RNGs), so sweeps are embarrassingly parallel; this module fans them out
-over a process pool.  Determinism is preserved: a point's result
-depends only on its ``(config, pattern, load)`` tuple, never on which
-worker ran it — tested in ``tests/test_parallel.py``.
+Thin wrappers over the :mod:`repro.runplan` subsystem, kept for callers
+written against the original tuple-based API.  New code should build
+:class:`~repro.runplan.RunSpec` plans and call
+:func:`repro.runplan.execute` directly — that adds caching and seed
+replication on top of the same executors.
+
+Determinism is preserved: a point's result depends only on its
+``(config, pattern, load)`` tuple, never on which worker ran it —
+tested in ``tests/test_parallel.py`` and ``tests/test_runplan.py``.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-
-from repro.experiments.sweeps import run_point
 from repro.network.config import SimConfig
+from repro.runplan import RunPoint, execute_points
+from repro.runplan.executors import default_workers, executor_for_jobs
 
-
-def default_workers() -> int:
-    return max(1, (os.cpu_count() or 2) - 1)
-
-
-def _run_point_task(task) -> dict:
-    config, pattern_spec, load, warmup, measure = task
-    return run_point(config, pattern_spec, load, warmup, measure)
+__all__ = ["default_workers", "run_points", "parallel_load_sweep",
+           "parallel_multi_sweep"]
 
 
 def run_points(tasks, workers: int | None = None) -> list[dict]:
@@ -31,12 +27,14 @@ def run_points(tasks, workers: int | None = None) -> list[dict]:
     Results come back in task order.  ``workers=1`` (or a single task)
     runs inline — handy under profilers and in tests.
     """
-    tasks = list(tasks)
+    points = [
+        RunPoint(config=config, pattern=pattern, load=load,
+                 warmup=warmup, measure=measure)
+        for config, pattern, load, warmup, measure in tasks
+    ]
     workers = default_workers() if workers is None else workers
-    if workers <= 1 or len(tasks) <= 1:
-        return [_run_point_task(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as ex:
-        return list(ex.map(_run_point_task, tasks))
+    return execute_points(points, executor=executor_for_jobs(workers),
+                          jobs=workers)
 
 
 def parallel_load_sweep(config: SimConfig, pattern_spec: str, loads,
@@ -51,6 +49,7 @@ def parallel_multi_sweep(configs_and_patterns, loads, warmup: int, measure: int,
                          workers: int | None = None) -> dict[str, list[dict]]:
     """Sweep several (name, config, pattern) series at once over one pool."""
     series = list(configs_and_patterns)
+    loads = list(loads)
     tasks = [
         (cfg, pattern, load, warmup, measure)
         for _, cfg, pattern in series
@@ -60,6 +59,6 @@ def parallel_multi_sweep(configs_and_patterns, loads, warmup: int, measure: int,
     out: dict[str, list[dict]] = {}
     i = 0
     for name, _, _ in series:
-        out[name] = flat[i:i + len(list(loads))]
-        i += len(list(loads))
+        out[name] = flat[i:i + len(loads)]
+        i += len(loads)
     return out

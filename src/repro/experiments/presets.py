@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.config import SimConfig, paper_vct_config, paper_wh_config
+from repro.runplan import RunSpec, replica_seeds
 
 
 @dataclass(frozen=True)
@@ -96,3 +97,26 @@ def preset_config(flow_control: str, *, scale, routing: str, seed: int = 1,
             f"unknown preset {flow_control!r}; known: {sorted(PRESET_CONFIGS)}"
         ) from None
     return builder(h=get_scale(scale).h, routing=routing, seed=seed, **over)
+
+
+def preset_runspec(flow_control: str, *, scale, routing: str, pattern: str,
+                   loads=None, seed: int = 1, seeds: int = 1,
+                   series: str | None = None, **over) -> RunSpec:
+    """Declarative :class:`~repro.runplan.RunSpec` for one figure series.
+
+    Combines :func:`preset_config` with the scale's measurement windows
+    and load grid; ``seeds`` > 1 adds replica seeds ``seed .. seed+K-1``
+    (aggregated into mean ± CI by the run-plan layer).
+    """
+    scale = get_scale(scale)
+    if loads is None:
+        loads = (scale.loads_uniform if pattern == "uniform"
+                 else scale.loads_adversarial)
+    return RunSpec(
+        config=preset_config(flow_control, scale=scale, routing=routing,
+                             seed=seed, **over),
+        pattern=pattern, loads=tuple(loads),
+        warmup=scale.warmup, measure=scale.measure,
+        seeds=replica_seeds(seed, seeds),
+        series=routing if series is None else series,
+    )

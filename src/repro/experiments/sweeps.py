@@ -1,86 +1,114 @@
 """Sweep runners: one steady-state point, load sweeps, mixed sweeps, bursts.
 
-Every runner drives the :mod:`repro.facade` Session API and returns
-plain dict records (JSON-serialisable) so that the CLI, the benchmarks
-and EXPERIMENTS.md share one source of numbers.  Records carry the
-:class:`~repro.facade.RunResult` fields plus the sweep coordinates
-(routing, pattern, load, ...).
+Every runner is expressed as a declarative run plan
+(:mod:`repro.runplan`): build the :class:`~repro.runplan.RunSpec` /
+:class:`~repro.runplan.RunPoint` list, hand it to an executor.  The
+default executor is ``serial``; callers that want parallelism, caching
+or seed replication pass ``executor="process"`` / ``cache=...`` /
+``seeds=...`` through the keyword surface.  Records are plain dicts
+(JSON-serialisable) carrying the :class:`~repro.facade.RunResult`
+fields plus the sweep coordinates (routing, pattern, load, seed, ...),
+so the CLI, the benchmarks and EXPERIMENTS.md share one source of
+numbers.
 """
 
 from __future__ import annotations
 
+from repro.facade import point_record as _record
+from repro.facade import run_point as _facade_run_point
 from repro.facade import session
 from repro.network.config import SimConfig
+from repro.runplan import RunPoint, RunSpec, execute, execute_points
 from repro.traffic.patterns import MixedGlobalLocal
 from repro.traffic.processes import BernoulliTraffic, BurstTraffic
-
-
-def _record(result, config: SimConfig, **coords) -> dict:
-    rec = result.to_dict()
-    rec.update(flow_control=config.flow_control, h=config.h, **coords)
-    return rec
 
 
 def run_point(config: SimConfig, pattern_spec: str, load: float,
               warmup: int, measure: int) -> dict:
     """One steady-state measurement: warm up, reset stats, measure."""
-    result = (session(config, pattern=pattern_spec, load=load)
-              .warmup(warmup).measure(measure))
-    return _record(result, config, routing=config.routing,
-                   pattern=pattern_spec, load=load)
+    return _facade_run_point(config, pattern_spec, load, warmup, measure)
 
 
 def load_sweep(config: SimConfig, pattern_spec: str, loads, warmup: int,
-               measure: int) -> list[dict]:
+               measure: int, *, executor="serial", jobs: int | None = None,
+               cache=None) -> list[dict]:
     """Offered-load sweep (one latency/throughput curve of Figs 4/5/7/8)."""
-    return [run_point(config, pattern_spec, load, warmup, measure) for load in loads]
+    spec = RunSpec(config=config, pattern=pattern_spec, loads=tuple(loads),
+                   warmup=warmup, measure=measure)
+    return execute(spec, executor=executor, jobs=jobs, cache=cache,
+                   aggregate=False)
 
 
 def mixed_sweep(config: SimConfig, percentages, load: float, warmup: int,
-                measure: int, *, global_offset: int | None = None) -> list[dict]:
-    """ADVG+h / ADVL+1 mix sweep at fixed offered load (Figs 6a/9a)."""
-    out = []
-    for pct in percentages:
-        s = session(config)
-        off = s.sim.topo.h if global_offset is None else global_offset
-        s.with_traffic(BernoulliTraffic(MixedGlobalLocal(pct / 100.0, off), load))
-        result = s.warmup(warmup).measure(measure)
-        out.append(_record(result, config, routing=config.routing,
-                           pattern=f"mixed:{pct}", load=load, global_pct=pct))
-    return out
+                measure: int, *, global_offset: int | None = None,
+                executor="serial", jobs: int | None = None,
+                cache=None) -> list[dict]:
+    """ADVG+h / ADVL+1 mix sweep at fixed offered load (Figs 6a/9a).
+
+    The default ADVG offset is the config's ``h`` (the ``mixed:P`` spec
+    grammar); pass ``global_offset`` to target a different group, which
+    routes through a direct (non-plannable) traffic object.
+    """
+    if global_offset is not None and global_offset != config.h:
+        out = []
+        for pct in percentages:
+            s = session(config)
+            s.with_traffic(BernoulliTraffic(
+                MixedGlobalLocal(pct / 100.0, global_offset), load))
+            result = s.warmup(warmup).measure(measure)
+            out.append(_record(result, config, pattern=f"mixed:{pct}",
+                               load=load, global_pct=pct))
+        return out
+    points = [
+        RunPoint(config=config, pattern=f"mixed:{pct}", load=load,
+                 warmup=warmup, measure=measure, coords=(("global_pct", pct),))
+        for pct in percentages
+    ]
+    return execute_points(points, executor=executor, jobs=jobs, cache=cache)
 
 
 def burst_drain(config: SimConfig, percentages, packets_per_node: int,
-                max_cycles: int, *, global_offset: int | None = None) -> list[dict]:
+                max_cycles: int, *, global_offset: int | None = None,
+                executor="serial", jobs: int | None = None,
+                cache=None) -> list[dict]:
     """Burst-consumption experiment (Figs 6b/9b): cycles to drain a burst."""
-    out = []
-    for pct in percentages:
-        s = session(config)
-        off = s.sim.topo.h if global_offset is None else global_offset
-        s.with_traffic(BurstTraffic(MixedGlobalLocal(pct / 100.0, off),
-                                    packets_per_node))
-        result = s.drain(max_cycles)
-        out.append({
-            "routing": config.routing,
-            "global_pct": pct,
-            "packets_per_node": packets_per_node,
-            "drain_cycles": result.drain_cycles,
-            "delivered": result.delivered,
-            "mean_latency": result.mean_latency,
-            "latency_p99": result.latency_p99,
-            "flow_control": config.flow_control,
-            "h": config.h,
-        })
-    return out
+    if global_offset is not None and global_offset != config.h:
+        out = []
+        for pct in percentages:
+            s = session(config)
+            s.with_traffic(BurstTraffic(
+                MixedGlobalLocal(pct / 100.0, global_offset), packets_per_node))
+            result = s.drain(max_cycles)
+            out.append(_record(result, config, pattern=f"mixed:{pct}",
+                               packets_per_node=packets_per_node,
+                               global_pct=pct))
+        return out
+    points = [
+        RunPoint(config=config, pattern=f"mixed:{pct}", kind="drain",
+                 packets_per_node=packets_per_node, max_cycles=max_cycles,
+                 coords=(("global_pct", pct),))
+        for pct in percentages
+    ]
+    return execute_points(points, executor=executor, jobs=jobs, cache=cache)
 
 
 def threshold_sweep(config: SimConfig, thresholds, pattern_spec: str, loads,
-                    warmup: int, measure: int) -> dict[float, list[dict]]:
+                    warmup: int, measure: int, *, executor="serial",
+                    jobs: int | None = None, cache=None) -> dict[float, list[dict]]:
     """Misrouting-threshold sweep (Figs 10/11): one load sweep per threshold."""
-    return {
-        th: load_sweep(config.with_(threshold=th), pattern_spec, loads, warmup, measure)
+    loads = tuple(loads)
+    points = [
+        RunPoint(config=config.with_(threshold=th), pattern=pattern_spec,
+                 load=load, warmup=warmup, measure=measure,
+                 coords=(("threshold", th),))
         for th in thresholds
-    }
+        for load in loads
+    ]
+    flat = execute_points(points, executor=executor, jobs=jobs, cache=cache)
+    out: dict[float, list[dict]] = {}
+    for point, rec in zip(points, flat):
+        out.setdefault(point.coords[0][1], []).append(rec)
+    return out
 
 
 def saturation_throughput(points: list[dict]) -> float:

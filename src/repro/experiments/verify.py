@@ -232,6 +232,13 @@ def render_experiments_md(results: dict[str, dict]) -> str:
         "and the tables below read the resulting `RunResult` fields "
         "(`throughput`, `mean_latency`, `drain_cycles`, ...).",
         "",
+        "Sweeps execute through the declarative run-plan layer "
+        "(`repro.runplan`): every figure expands into independent "
+        "`RunPoint` jobs that can be fanned out over a process pool, "
+        "cached and seed-replicated — `dragonfly-repro run all "
+        "--jobs 4 --seeds 3 --cache .runcache` reproduces everything "
+        "in parallel with mean ± 95% CI records.",
+        "",
     ]
     passed = failed = 0
     for exp_id in sorted(CHECKS):

@@ -25,7 +25,7 @@ from repro.metrics.probes import LatencyProbe
 from repro.network.config import SimConfig
 from repro.network.simulator import Simulator, build_simulator
 from repro.traffic.patterns import pattern_by_name
-from repro.traffic.processes import BernoulliTraffic
+from repro.traffic.processes import BernoulliTraffic, BurstTraffic
 
 
 def _percentile(sorted_values: list[int], q: float) -> float:
@@ -213,4 +213,52 @@ def session(config: SimConfig | None = None, *, traffic=None,
     return s
 
 
-__all__ = ["Session", "RunResult", "session"]
+# --------------------------------------------------------------- worker entries
+#
+# Module-level functions (picklable, importable by name) so process-pool
+# executors can ship one simulation point to a worker.  They return plain
+# dict records: the RunResult fields plus the point's coordinates, the
+# interchange format of the sweeps / run-plan / reporting layers.
+
+
+def point_record(result: RunResult, config: SimConfig, **coords) -> dict:
+    """The interchange record: ``RunResult`` fields + sweep coordinates.
+
+    The single place that defines which coordinates every record carries
+    (routing, flow control, h, seed) — sweeps, run plans and reporting
+    all consume this shape.
+    """
+    rec = result.to_dict()
+    rec.update(routing=config.routing, flow_control=config.flow_control,
+               h=config.h, seed=config.seed, **coords)
+    return rec
+
+
+def run_point(config: SimConfig, pattern_spec: str, load: float,
+              warmup: int, measure: int) -> dict:
+    """One steady-state record: warm up, reset stats, measure.
+
+    Picklable worker entry — the unit of work of the run-plan executors
+    (:mod:`repro.runplan`).
+    """
+    result = (session(config, pattern=pattern_spec, load=load)
+              .warmup(warmup).measure(measure))
+    return point_record(result, config, pattern=pattern_spec, load=load)
+
+
+def run_drain(config: SimConfig, pattern_spec: str, packets_per_node: int,
+              max_cycles: int) -> dict:
+    """One burst-consumption record: inject a burst, run until drained.
+
+    Picklable worker entry for ``kind="drain"`` run-plan points.
+    """
+    s = session(config)
+    pattern = pattern_by_name(pattern_spec, s.sim.topo)
+    s.with_traffic(BurstTraffic(pattern, packets_per_node))
+    result = s.drain(max_cycles)
+    return point_record(result, config, pattern=pattern_spec,
+                        packets_per_node=packets_per_node)
+
+
+__all__ = ["Session", "RunResult", "session", "run_point", "run_drain",
+           "point_record"]

@@ -6,6 +6,7 @@ from repro.metrics.statistics import (
     BatchMeansResult,
     batch_means,
     compare_series,
+    mean_ci,
     saturation_point,
     steady_state_reached,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "BatchMeansResult",
     "batch_means",
     "compare_series",
+    "mean_ci",
     "saturation_point",
     "steady_state_reached",
 ]

@@ -62,6 +62,29 @@ def batch_means(samples, num_batches: int = 10) -> BatchMeansResult:
     return BatchMeansResult(mean=grand, half_width=half, batches=num_batches)
 
 
+def mean_ci(values) -> tuple[float, float]:
+    """Mean and 95% confidence half-width across independent replicas.
+
+    Unlike :func:`batch_means` (which slices one autocorrelated stream),
+    this treats each value as an already-independent observation — e.g.
+    the same sweep point simulated under different RNG seeds.  A single
+    replica yields a zero half-width (no spread information); any NaN
+    value poisons both outputs.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("need at least one replica value")
+    if any(math.isnan(v) for v in values):
+        return (math.nan, math.nan)
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return (mean, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_quantile_975(n - 1) * math.sqrt(var / n)
+    return (mean, half)
+
+
 def saturation_point(points, *, rel_tolerance: float = 0.05) -> dict:
     """Locate the saturation of an offered-vs-accepted sweep.
 

@@ -15,6 +15,8 @@ config is created are accepted like built-ins.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields, replace
 
 from repro.registry import (
@@ -125,6 +127,19 @@ class SimConfig:
         if self._pb_update_period_auto:
             d["pb_update_period"] = None
         return d
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding of :meth:`to_dict`.
+
+        Keys are sorted and separators fixed, so two equal configs always
+        encode to the same byte string — the basis of result-cache keys
+        and run-plan identity (:func:`config_hash`).
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json` (stable across runs)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimConfig":

@@ -164,6 +164,10 @@ PROCESS_REGISTRY = Registry("traffic process")
 
 def all_registries() -> dict[str, Registry]:
     """Every component registry by kind, for introspection and the CLI."""
+    # imported lazily: runplan itself registers into a Registry from this
+    # module, so a top-level import would be circular
+    from repro.runplan.executors import EXECUTOR_REGISTRY
+
     return {
         "topology": TOPOLOGY_REGISTRY,
         "routing": ROUTING_REGISTRY,
@@ -171,6 +175,7 @@ def all_registries() -> dict[str, Registry]:
         "arbitration": ARBITER_REGISTRY,
         "traffic-pattern": PATTERN_REGISTRY,
         "traffic-process": PROCESS_REGISTRY,
+        "executor": EXECUTOR_REGISTRY,
     }
 
 

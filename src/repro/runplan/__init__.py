@@ -1,0 +1,62 @@
+"""Parallel experiment execution: declarative plans, executors, caching.
+
+The subsystem behind every sweep in the repo::
+
+    from repro.runplan import RunSpec, execute, replica_seeds
+
+    spec = RunSpec(config=cfg, pattern="uniform",
+                   loads=(0.1, 0.3, 0.5), warmup=2000, measure=2000,
+                   seeds=replica_seeds(1, 3), series="olm")
+    records = execute(spec, executor="process", jobs=4, cache=".runcache")
+
+A :class:`RunSpec` expands into independent :class:`RunPoint` jobs
+(loads x seed replicas); a pluggable executor (``serial`` or
+``process``, registered in :data:`EXECUTOR_REGISTRY`) computes them; a
+content-addressed :class:`ResultCache` replays already-computed points
+byte-identically; and multi-seed results are merged into mean ± 95%-CI
+records by :func:`aggregate_replicas`.  Determinism is a contract:
+the same plan yields identical records under any executor, pool size or
+cache state (``tests/test_runplan.py``).
+"""
+
+from repro.runplan.aggregate import COORD_KEYS, aggregate_replicas
+from repro.runplan.cache import ResultCache, canonical_record_json, resolve_cache
+from repro.runplan.executors import (
+    EXECUTOR_REGISTRY,
+    ProcessExecutor,
+    SerialExecutor,
+    default_workers,
+    executor_for_jobs,
+    resolve_executor,
+)
+from repro.runplan.runner import execute, execute_point, execute_points, series_map
+from repro.runplan.spec import (
+    POINT_SCHEMA_VERSION,
+    RunPoint,
+    RunSpec,
+    expand_specs,
+    replica_seeds,
+)
+
+__all__ = [
+    "RunSpec",
+    "RunPoint",
+    "expand_specs",
+    "replica_seeds",
+    "POINT_SCHEMA_VERSION",
+    "EXECUTOR_REGISTRY",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "default_workers",
+    "executor_for_jobs",
+    "resolve_executor",
+    "ResultCache",
+    "resolve_cache",
+    "canonical_record_json",
+    "COORD_KEYS",
+    "aggregate_replicas",
+    "execute",
+    "execute_point",
+    "execute_points",
+    "series_map",
+]

@@ -1,0 +1,70 @@
+"""Merging seed replicas into mean ± confidence records.
+
+Multi-seed run plans produce one record per (point, seed); downstream
+consumers (figures, verify checks, reporting) want one record per sweep
+coordinate.  :func:`aggregate_replicas` groups records that differ only
+in ``seed``, averages every numeric metric across the group and attaches
+a 95% confidence half-width (``<metric>_ci``, Student-t over the
+replicas — :func:`repro.metrics.statistics.mean_ci`).  Aggregated
+records keep the plain metric names, so a mean-of-3-seeds sweep drops
+into every consumer that understands single-seed records.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.statistics import mean_ci
+
+#: record keys that identify a sweep coordinate rather than a measurement
+COORD_KEYS = frozenset({
+    "kind", "routing", "pattern", "load", "flow_control", "h",
+    "global_pct", "packets_per_node", "threshold", "series",
+})
+
+#: record keys never aggregated nor used for grouping
+_DROPPED_KEYS = frozenset({"seed"})
+
+
+def _group_key(record: dict) -> tuple:
+    return tuple(sorted(
+        (k, v) for k, v in record.items() if k in COORD_KEYS
+    ))
+
+
+def aggregate_replicas(records) -> list[dict]:
+    """Collapse seed replicas: one record per coordinate, mean ± CI.
+
+    Records are grouped by their coordinate keys (:data:`COORD_KEYS`);
+    within a group every numeric field that is not a coordinate is
+    replaced by its replica mean plus a ``<field>_ci`` half-width.
+    Non-numeric fields and fields present in only some replicas (e.g.
+    ``drain_cycles`` on steady points, where it is ``None``) keep the
+    first replica's value when all replicas agree, else are dropped.
+    The output also carries ``replicas`` (count) and ``seeds`` (sorted).
+    Group order follows first appearance, so sweep ordering survives.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for rec in records:
+        groups.setdefault(_group_key(rec), []).append(rec)
+
+    out = []
+    for group in groups.values():
+        first = group[0]
+        agg: dict = {}
+        for key, value in first.items():
+            if key in _DROPPED_KEYS:
+                continue
+            if key in COORD_KEYS:
+                agg[key] = value
+                continue
+            values = [rec.get(key) for rec in group]
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in values):
+                mean, half = mean_ci(values)
+                agg[key] = mean
+                agg[f"{key}_ci"] = half
+            elif all(v == value for v in values):
+                agg[key] = value
+        agg["replicas"] = len(group)
+        agg["seeds"] = sorted(rec.get("seed") for rec in group)
+        out.append(agg)
+    return out

@@ -1,0 +1,89 @@
+"""Content-addressed result cache.
+
+Records are stored one JSON file per run point under
+``<root>/<key[:2]>/<key>.json``, where ``key`` is the point's content
+hash (:meth:`RunPoint.key` — a SHA-256 over the canonical config dict,
+traffic spec and measurement windows).  Because the key covers
+everything that determines the record, a hit can be replayed verbatim:
+cached records are byte-identical (canonical JSON) to a fresh run with
+the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+from repro.runplan.spec import RunPoint
+
+
+def canonical_record_json(record: dict) -> str:
+    """Deterministic JSON for a record (sorted keys, fixed separators).
+
+    The determinism contract ("serial == process == cache replay") is
+    checked over this encoding, so dict insertion order never matters.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """Filesystem cache of run-point records, addressed by content hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, point: RunPoint) -> dict | None:
+        """The cached record for ``point``, or ``None`` on a miss."""
+        path = self._path(point.key())
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["record"]
+
+    def put(self, point: RunPoint, record: dict) -> None:
+        """Store ``record`` for ``point`` (atomic rename, concurrency safe).
+
+        The temp file carries this process's pid so concurrent sweeps
+        sharing a cache directory never clobber each other mid-write;
+        whichever rename lands last wins with a complete file (both
+        writers computed the same deterministic record anyway).
+        """
+        path = self._path(point.key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"point": point.describe(), "record": record}
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+
+    def __len__(self) -> int:
+        """Number of cached records on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def stats(self) -> dict:
+        """Hit/miss counters for this cache object's lifetime."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else math.nan,
+            "entries": len(self),
+        }
+
+
+def resolve_cache(cache) -> ResultCache | None:
+    """``None`` passes through; strings/paths become a :class:`ResultCache`."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

@@ -1,0 +1,87 @@
+"""Pluggable executors: how a flat list of run points gets computed.
+
+Executors are registered in the unified :class:`~repro.registry.Registry`
+(``EXECUTOR_REGISTRY``) like every other component, so third parties can
+plug in their own (an MPI pool, a job-queue client, ...) and select it
+by name wherever the experiments layer accepts ``executor=``.
+
+The contract is one method::
+
+    executor.map(fn, items) -> list   # results in item order
+
+``fn`` is always a module-level picklable function (the run-plan worker
+entry), so process-based executors can ship it to workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.registry import Registry
+
+#: run-plan executors (serial, process, third-party pools)
+EXECUTOR_REGISTRY = Registry("executor")
+
+
+def default_workers() -> int:
+    """Pool size leaving one core for the parent (never below 1)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+@EXECUTOR_REGISTRY.register(
+    "serial", description="run every point inline in this process")
+class SerialExecutor:
+    """In-process execution: simple, profiler-friendly, zero overhead."""
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = 1
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+
+@EXECUTOR_REGISTRY.register(
+    "process", description="fan points out over a multiprocessing pool")
+class ProcessExecutor:
+    """Process-pool execution over :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Every point is a self-contained simulation, so results are identical
+    to serial execution regardless of pool size or scheduling order
+    (results come back in submission order).  ``jobs=None`` sizes the
+    pool to :func:`default_workers`.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        self.jobs = default_workers() if jobs is None else max(1, jobs)
+
+    def map(self, fn, items) -> list:
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+def executor_for_jobs(jobs: int | None) -> str:
+    """The conventional executor name for a ``--jobs`` value.
+
+    ``None`` or 1 means serial; anything larger selects the process
+    pool.  The one policy shared by the CLI, the figure runners and the
+    compat ``parallel`` module.
+    """
+    return "process" if jobs and jobs > 1 else "serial"
+
+
+def resolve_executor(executor, jobs: int | None = None):
+    """Resolve an executor name (or pass an instance through).
+
+    Names go through :data:`EXECUTOR_REGISTRY` and are constructed with
+    ``jobs``; anything with a ``map`` attribute is accepted as-is.
+    """
+    if isinstance(executor, str):
+        return EXECUTOR_REGISTRY.get(executor)(jobs=jobs)
+    if hasattr(executor, "map"):
+        return executor
+    raise TypeError(f"executor must be a registered name or have .map, "
+                    f"got {executor!r}")

@@ -1,0 +1,103 @@
+"""Run-plan execution: expand, check the cache, fan out, aggregate.
+
+The module-level :func:`execute_point` is the worker entry shipped to
+pool processes; it dispatches a :class:`RunPoint` to the matching
+picklable facade worker and merges the point's coordinate labels into
+the record.  :func:`execute` is the one call the experiments layer
+uses: specs in, records out, with executor / cache / replica
+aggregation handled behind the arguments.
+"""
+
+from __future__ import annotations
+
+from repro.facade import run_drain, run_point
+from repro.runplan.aggregate import aggregate_replicas
+from repro.runplan.cache import resolve_cache
+from repro.runplan.executors import resolve_executor
+from repro.runplan.spec import RunPoint, RunSpec, expand_specs
+
+
+def execute_point(point: RunPoint) -> dict:
+    """Compute one point's raw record (picklable process-pool worker).
+
+    Display labels (``series``/``coords``) are merged by the caller
+    (:func:`execute_points`), never here, so the record is pure
+    measurement content — cacheable under the point's content hash and
+    shareable between differently-labelled plans.
+    """
+    if point.kind == "drain":
+        return run_drain(point.config, point.pattern,
+                         point.packets_per_node,
+                         point.max_cycles or 1_000_000)
+    return run_point(point.config, point.pattern, point.load,
+                     point.warmup, point.measure)
+
+
+def _labeled(point: RunPoint, record: dict) -> dict:
+    rec = dict(record)
+    if point.series:
+        rec["series"] = point.series
+    rec.update(point.coords)
+    return rec
+
+
+def execute_points(points, *, executor="serial", jobs: int | None = None,
+                   cache=None) -> list[dict]:
+    """Execute a flat point list; results come back in point order.
+
+    ``cache`` (a directory path or :class:`ResultCache`) is consulted
+    per point before any work is scheduled: hits are replayed verbatim,
+    only misses reach the executor, and fresh records are stored on the
+    way out.
+    """
+    points = list(points)
+    cache = resolve_cache(cache)
+    records: list[dict | None] = [None] * len(points)
+    pending: list[tuple[int, RunPoint]] = []
+    if cache is None:
+        pending = list(enumerate(points))
+    else:
+        for i, point in enumerate(points):
+            hit = cache.get(point)
+            if hit is None:
+                pending.append((i, point))
+            else:
+                records[i] = _labeled(point, hit)
+    if pending:
+        pool = resolve_executor(executor, jobs)
+        fresh = pool.map(execute_point, [p for _, p in pending])
+        for (i, point), record in zip(pending, fresh):
+            if cache is not None:
+                cache.put(point, record)
+            records[i] = _labeled(point, record)
+    return records  # type: ignore[return-value]
+
+
+def execute(specs, *, executor="serial", jobs: int | None = None,
+            cache=None, aggregate: bool | None = None) -> list[dict]:
+    """Run one spec or a sequence of specs end to end.
+
+    ``aggregate=None`` (the default) collapses seed replicas exactly
+    when some spec carries more than one seed; pass ``False`` for the
+    raw per-seed records or ``True`` to force aggregation.
+    """
+    if isinstance(specs, RunSpec):
+        specs = [specs]
+    specs = list(specs)
+    records = execute_points(expand_specs(specs), executor=executor,
+                             jobs=jobs, cache=cache)
+    if aggregate is None:
+        aggregate = any(len(spec.seeds) > 1 for spec in specs)
+    return aggregate_replicas(records) if aggregate else records
+
+
+def series_map(records, order=()) -> dict[str, list[dict]]:
+    """Group records by their ``series`` label, preserving record order.
+
+    ``order`` pre-seeds the series ordering (figures want legend order
+    even when an empty series produced no records yet).
+    """
+    out: dict[str, list[dict]] = {name: [] for name in order}
+    for rec in records:
+        out.setdefault(rec.get("series", ""), []).append(rec)
+    return out

@@ -1,0 +1,148 @@
+"""Declarative run plans: what to simulate, not how.
+
+A :class:`RunSpec` describes one experiment series — a base
+:class:`~repro.network.config.SimConfig`, a traffic-pattern spec, a
+load grid and a tuple of seed replicas — and :meth:`RunSpec.expand`
+flattens it into self-contained :class:`RunPoint` jobs.  Points are
+mutually independent (each owns its config and RNG seed), which is what
+lets the executors fan them out over a process pool and the cache
+address results by point content alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.network.config import SimConfig
+
+#: bump when the record schema produced by the workers changes, so stale
+#: cache entries from an older layout are never replayed
+POINT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One self-contained simulation job (the unit of execution/caching).
+
+    ``kind`` selects the worker: ``"steady"`` runs the warm-up/measure
+    workflow (needs ``load``/``warmup``/``measure``), ``"drain"`` runs a
+    burst-consumption experiment (needs ``packets_per_node``/
+    ``max_cycles``).  ``series`` labels the curve the record belongs to
+    (e.g. the routing mechanism); ``coords`` are extra coordinate pairs
+    merged verbatim into the record (e.g. ``(("global_pct", 40),)``).
+    """
+
+    config: SimConfig
+    pattern: str
+    kind: str = "steady"
+    load: float | None = None
+    warmup: int = 0
+    measure: int = 0
+    packets_per_node: int | None = None
+    max_cycles: int | None = None
+    series: str = ""
+    coords: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("steady", "drain"):
+            raise ValueError(f"unknown RunPoint kind {self.kind!r}; "
+                             "expected 'steady' or 'drain'")
+        if self.kind == "steady" and self.load is None:
+            raise ValueError("steady RunPoint needs an offered load")
+        if self.kind == "drain" and self.packets_per_node is None:
+            raise ValueError("drain RunPoint needs packets_per_node")
+
+    def describe(self) -> dict:
+        """JSON-safe mapping of everything that determines the measurement.
+
+        Display labels (``series``, ``coords``) are deliberately absent:
+        they don't influence the simulation, and keeping them out of the
+        cache key lets differently-labelled plans share cached results.
+        """
+        return {
+            "schema": POINT_SCHEMA_VERSION,
+            "config": self.config.to_dict(),
+            "pattern": self.pattern,
+            "kind": self.kind,
+            "load": self.load,
+            "warmup": self.warmup,
+            "measure": self.measure,
+            "packets_per_node": self.packets_per_node,
+            "max_cycles": self.max_cycles,
+        }
+
+    def key(self) -> str:
+        """Content hash of the point — the result-cache address.
+
+        Two points with equal configs, traffic and windows share a key
+        regardless of which spec produced them, how their records are
+        labelled, or when they ran.
+        """
+        blob = json.dumps(self.describe(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def replica_seeds(base_seed: int, replicas: int) -> tuple[int, ...]:
+    """The seed tuple for ``replicas`` independent runs starting at ``base_seed``."""
+    if replicas < 1:
+        raise ValueError("need at least one seed replica")
+    return tuple(base_seed + i for i in range(replicas))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A declarative experiment series: config x pattern x loads x seeds.
+
+    ``seeds`` holds the explicit replica seeds (see :func:`replica_seeds`);
+    each expands to its own point with ``config.with_(seed=s)``, so a
+    multi-seed spec yields ``len(loads) * len(seeds)`` independent jobs.
+    For ``kind="drain"`` specs, ``loads`` is ignored and one point per
+    seed is produced from ``packets_per_node``/``max_cycles``.
+    """
+
+    config: SimConfig
+    pattern: str
+    loads: tuple[float, ...] = ()
+    warmup: int = 0
+    measure: int = 0
+    seeds: tuple[int, ...] = ()
+    kind: str = "steady"
+    packets_per_node: int | None = None
+    max_cycles: int | None = None
+    series: str = ""
+    coords: tuple[tuple[str, object], ...] = field(default=())
+
+    def expand(self) -> list[RunPoint]:
+        """Flatten into independent :class:`RunPoint` jobs (loads x seeds)."""
+        seeds = self.seeds or (self.config.seed,)
+        points = []
+        for seed in seeds:
+            cfg = self.config if seed == self.config.seed else self.config.with_(seed=seed)
+            if self.kind == "drain":
+                points.append(RunPoint(
+                    config=cfg, pattern=self.pattern, kind="drain",
+                    packets_per_node=self.packets_per_node,
+                    max_cycles=self.max_cycles,
+                    series=self.series, coords=self.coords))
+            else:
+                points.extend(
+                    RunPoint(config=cfg, pattern=self.pattern, load=load,
+                             warmup=self.warmup, measure=self.measure,
+                             series=self.series, coords=self.coords)
+                    for load in self.loads
+                )
+        return points
+
+    def with_(self, **kwargs) -> "RunSpec":
+        """Copy with fields replaced (mirrors ``SimConfig.with_``)."""
+        return replace(self, **kwargs)
+
+
+def expand_specs(specs) -> list[RunPoint]:
+    """Expand several specs into one flat job list (one executor pass)."""
+    points: list[RunPoint] = []
+    for spec in specs:
+        points.extend(spec.expand())
+    return points

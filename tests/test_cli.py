@@ -87,3 +87,65 @@ def test_point_command_rejects_bad_config(tmp_path, capsys):
     cfg_path.write_text(json.dumps({"rooting": "olm"}))
     with pytest.raises(ValueError, match="unknown SimConfig field"):
         main(["point", "--config", str(cfg_path), "--measure", "10"])
+
+
+def _sweep_args(tmp_path, name, *extra):
+    out = tmp_path / f"{name}.json"
+    return out, ["sweep", "--routing", "minimal", "--pattern", "uniform",
+                 "--loads", "0.1,0.2", "--warmup", "200", "--measure", "200",
+                 "--json", str(out), *extra]
+
+
+def test_sweep_command_writes_records(tmp_path, capsys):
+    out, args = _sweep_args(tmp_path, "s1")
+    assert main(args) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["config"]["routing"] == "minimal"
+    assert [r["load"] for r in payload["records"]] == [0.1, 0.2]
+    assert all(r["throughput"] > 0 for r in payload["records"])
+
+
+def test_sweep_jobs_and_cache_reproduce_serial(tmp_path, capsys):
+    cache = tmp_path / "runcache"
+    out1, args1 = _sweep_args(tmp_path, "serial")
+    out2, args2 = _sweep_args(tmp_path, "jobs2", "--jobs", "2")
+    out3, args3 = _sweep_args(tmp_path, "replay", "--cache", str(cache))
+    for args in (args1, args2, args3, args3):
+        assert main(args) == 0
+    capsys.readouterr()
+    records = [json.loads(p.read_text())["records"] for p in (out1, out2, out3)]
+    assert records[0] == records[1] == records[2]
+
+
+def test_sweep_multi_seed_aggregates(tmp_path, capsys):
+    out, args = _sweep_args(tmp_path, "ci", "--seeds", "2")
+    assert main(args) == 0
+    capsys.readouterr()
+    records = json.loads(out.read_text())["records"]
+    assert [r["load"] for r in records] == [0.1, 0.2]
+    assert all(r["replicas"] == 2 and "throughput_ci" in r for r in records)
+
+
+def test_sweep_rejects_bad_loads():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--loads", "0.1,abc"])
+
+
+def test_sweep_config_file_seed_respected(tmp_path, capsys):
+    from repro.network.config import SimConfig
+
+    cfg_path = tmp_path / "cfg.json"
+    cfg_path.write_text(json.dumps(
+        SimConfig(h=2, routing="minimal", seed=42).to_dict()))
+    out, args = _sweep_args(tmp_path, "seeded", "--config", str(cfg_path))
+    assert main(args) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["config"]["seed"] == 42  # no --seed flag: file wins
+    assert payload["seeds"] == [42]
+    out2, args2 = _sweep_args(tmp_path, "override", "--config", str(cfg_path),
+                              "--seed", "7")
+    assert main(args2) == 0
+    capsys.readouterr()
+    assert json.loads(out2.read_text())["config"]["seed"] == 7

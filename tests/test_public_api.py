@@ -42,6 +42,12 @@ PUBLIC_MODULES = [
     "repro.metrics.collector",
     "repro.metrics.statistics",
     "repro.metrics.probes",
+    "repro.runplan",
+    "repro.runplan.spec",
+    "repro.runplan.executors",
+    "repro.runplan.cache",
+    "repro.runplan.aggregate",
+    "repro.runplan.runner",
     "repro.analysis",
     "repro.analysis.bounds",
     "repro.analysis.cdg",

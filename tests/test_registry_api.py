@@ -87,7 +87,7 @@ def test_registry_is_a_mapping():
 def test_all_registries_lists_every_component_kind():
     regs = all_registries()
     assert set(regs) == {"topology", "routing", "flow-control", "arbitration",
-                         "traffic-pattern", "traffic-process"}
+                         "traffic-pattern", "traffic-process", "executor"}
     assert "dragonfly" in regs["topology"].available()
     assert "olm" in regs["routing"].available()
     assert regs["flow-control"].available() == ("vct", "wh")

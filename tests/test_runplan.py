@@ -1,0 +1,224 @@
+"""Run-plan subsystem: specs, executors, caching, replica aggregation.
+
+The determinism contract is the headline: the same plan produces
+byte-identical records (canonical JSON) under the serial executor, the
+process executor and a cache replay.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics.statistics import mean_ci, t_quantile_975
+from repro.network.config import SimConfig, paper_vct_config
+from repro.runplan import (
+    EXECUTOR_REGISTRY,
+    ProcessExecutor,
+    ResultCache,
+    RunPoint,
+    RunSpec,
+    aggregate_replicas,
+    canonical_record_json,
+    execute,
+    execute_points,
+    expand_specs,
+    replica_seeds,
+    series_map,
+)
+
+WARMUP = MEASURE = 250
+
+
+def tiny_spec(routing="minimal", seed=3, loads=(0.1, 0.2), seeds=1, **kw):
+    return RunSpec(config=paper_vct_config(h=2, routing=routing, seed=seed),
+                   pattern="uniform", loads=loads, warmup=WARMUP,
+                   measure=MEASURE, seeds=replica_seeds(seed, seeds), **kw)
+
+
+# ---------------------------------------------------------------- spec layer
+def test_runspec_expands_loads_times_seeds():
+    spec = tiny_spec(loads=(0.1, 0.2, 0.3), seeds=2, series="minimal")
+    points = spec.expand()
+    assert len(points) == 6
+    assert sorted({p.config.seed for p in points}) == [3, 4]
+    assert {p.load for p in points} == {0.1, 0.2, 0.3}
+    assert all(p.series == "minimal" and p.kind == "steady" for p in points)
+
+
+def test_drain_spec_expands_per_seed():
+    spec = RunSpec(config=SimConfig(h=2, routing="olm"), pattern="mixed:50",
+                   kind="drain", packets_per_node=4, max_cycles=10_000,
+                   seeds=(1, 2, 3))
+    points = spec.expand()
+    assert len(points) == 3
+    assert all(p.kind == "drain" and p.packets_per_node == 4 for p in points)
+
+
+def test_runpoint_validation():
+    cfg = SimConfig(h=2)
+    with pytest.raises(ValueError, match="offered load"):
+        RunPoint(config=cfg, pattern="uniform")
+    with pytest.raises(ValueError, match="packets_per_node"):
+        RunPoint(config=cfg, pattern="uniform", kind="drain")
+    with pytest.raises(ValueError, match="kind"):
+        RunPoint(config=cfg, pattern="uniform", kind="warp", load=0.1)
+
+
+def test_point_key_content_addressed():
+    a = tiny_spec().expand()[0]
+    b = tiny_spec().expand()[0]
+    assert a.key() == b.key()  # equal content, equal address
+    c = tiny_spec(seed=4).expand()[0]
+    d = tiny_spec(loads=(0.15, 0.2)).expand()[0]
+    assert len({a.key(), c.key(), d.key()}) == 3
+    # display labels are not content: relabelled plans share cache keys
+    e = tiny_spec(series="fig4a", coords=(("threshold", 0.3),)).expand()[0]
+    assert e.key() == a.key()
+
+
+def test_cache_shared_across_labels(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    labelled = execute(tiny_spec(loads=(0.1,), series="olm-curve",
+                                 coords=(("threshold", 0.45),)),
+                       cache=cache, aggregate=False)
+    assert labelled[0]["series"] == "olm-curve"
+    assert labelled[0]["threshold"] == 0.45
+    bare = execute(tiny_spec(loads=(0.1,)), cache=cache, aggregate=False)
+    assert cache.hits == 1  # same measurement, different labels: replayed
+    assert "series" not in bare[0] and "threshold" not in bare[0]
+    assert bare[0]["throughput"] == labelled[0]["throughput"]
+
+
+def test_config_canonical_hash_stable_and_sensitive():
+    cfg = SimConfig(h=2, routing="olm")
+    assert cfg.content_hash() == SimConfig(h=2, routing="olm").content_hash()
+    assert cfg.content_hash() != cfg.with_(seed=9).content_hash()
+    # canonical encoding is key-sorted, so dict order can't leak in
+    rt = SimConfig.from_dict(json.loads(cfg.canonical_json()))
+    assert rt.content_hash() == cfg.content_hash()
+
+
+def test_replica_seeds():
+    assert replica_seeds(5, 3) == (5, 6, 7)
+    with pytest.raises(ValueError):
+        replica_seeds(5, 0)
+
+
+# ------------------------------------------------------------- determinism
+def test_serial_process_and_cache_replay_identical(tmp_path):
+    """The satellite contract: serial == process == cache replay, byte-wise."""
+    spec = tiny_spec(seeds=2)
+    serial = execute(spec, executor="serial", aggregate=False)
+    parallel = execute(spec, executor="process", jobs=2, aggregate=False)
+    cache_dir = tmp_path / "runcache"
+    first = execute(spec, cache=cache_dir, aggregate=False)
+    replay = execute(spec, cache=cache_dir, aggregate=False)
+    blobs = [[canonical_record_json(r) for r in records]
+             for records in (serial, parallel, first, replay)]
+    assert blobs[0] == blobs[1] == blobs[2] == blobs[3]
+
+
+def test_cache_replay_skips_execution(tmp_path):
+    class Exploding:
+        def map(self, fn, items):
+            raise AssertionError("cache should have satisfied every point")
+
+    spec = tiny_spec()
+    cache = ResultCache(tmp_path / "c")
+    execute(spec, cache=cache, aggregate=False)
+    assert len(cache) == len(spec.expand())
+    replay = execute(spec, executor=Exploding(), cache=cache, aggregate=False)
+    assert [r["load"] for r in replay] == [0.1, 0.2]
+    assert cache.stats()["hits"] == len(spec.expand())
+
+
+def test_cache_partial_hit_mixes_replay_and_fresh(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    execute(tiny_spec(loads=(0.1,)), cache=cache, aggregate=False)
+    records = execute(tiny_spec(loads=(0.1, 0.2)), cache=cache, aggregate=False)
+    assert [r["load"] for r in records] == [0.1, 0.2]
+    assert cache.hits == 1 and len(cache) == 2
+
+
+def test_executor_registry_names():
+    assert {"serial", "process"} <= set(EXECUTOR_REGISTRY.available())
+    pool = ProcessExecutor(jobs=3)
+    assert pool.jobs == 3
+    assert ProcessExecutor(jobs=0).jobs == 1
+
+
+# -------------------------------------------------------------- aggregation
+def test_mean_ci_values():
+    mean, half = mean_ci([1.0, 2.0, 3.0])
+    assert mean == pytest.approx(2.0)
+    assert half == pytest.approx(t_quantile_975(2) * 1.0 / math.sqrt(3))
+    assert mean_ci([4.2]) == (4.2, 0.0)
+    assert all(math.isnan(v) for v in mean_ci([1.0, math.nan]))
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+def test_aggregate_replicas_mean_and_ci():
+    records = [
+        {"routing": "olm", "pattern": "uniform", "load": 0.1,
+         "throughput": t, "seed": s}
+        for s, t in ((1, 0.10), (2, 0.12), (3, 0.14))
+    ] + [
+        {"routing": "olm", "pattern": "uniform", "load": 0.2,
+         "throughput": 0.2, "seed": 1},
+    ]
+    agg = aggregate_replicas(records)
+    assert len(agg) == 2
+    first = agg[0]
+    assert first["load"] == 0.1
+    assert first["throughput"] == pytest.approx(0.12)
+    assert first["throughput_ci"] > 0
+    assert first["replicas"] == 3 and first["seeds"] == [1, 2, 3]
+    assert agg[1]["throughput_ci"] == 0.0 and agg[1]["replicas"] == 1
+    assert "seed" not in first
+
+
+def test_multi_seed_execute_aggregates_by_default():
+    spec = tiny_spec(loads=(0.1,), seeds=3)
+    agg = execute(spec)
+    assert len(agg) == 1
+    rec = agg[0]
+    assert rec["replicas"] == 3 and rec["seeds"] == [3, 4, 5]
+    assert rec["throughput"] > 0 and rec["throughput_ci"] >= 0
+    raws = execute(spec, aggregate=False)
+    assert rec["throughput"] == pytest.approx(
+        sum(r["throughput"] for r in raws) / 3)
+
+
+# ------------------------------------------------------------ plumbing bits
+def test_expand_specs_and_series_map():
+    specs = [tiny_spec(routing=r, series=r, loads=(0.1,)) for r in ("minimal", "olm")]
+    points = expand_specs(specs)
+    assert [p.series for p in points] == ["minimal", "olm"]
+    records = execute_points(points)
+    grouped = series_map(records, ("minimal", "olm"))
+    assert list(grouped) == ["minimal", "olm"]
+    assert all(len(v) == 1 for v in grouped.values())
+
+
+def test_drain_point_record_shape():
+    point = RunPoint(config=paper_vct_config(h=2, routing="olm", seed=1),
+                     pattern="mixed:50", kind="drain", packets_per_node=3,
+                     max_cycles=500_000, coords=(("global_pct", 50),))
+    rec = execute_points([point])[0]
+    assert rec["kind"] == "drain"
+    assert rec["drain_cycles"] > 0
+    assert rec["delivered"] == 3 * 72  # h=2: 72 nodes
+    assert rec["global_pct"] == 50 and rec["seed"] == 1
+
+
+def test_figure_runner_multi_seed_reports_ci():
+    from repro.experiments.figures import sweep_vct_uniform
+
+    res = sweep_vct_uniform(scale="smoke", loads=(0.2,), seed=7, seeds=2)
+    assert res["seeds"] == 2
+    for pts in res["series"].values():
+        assert len(pts) == 1
+        assert pts[0]["replicas"] == 2 and pts[0]["seeds"] == [7, 8]
+        assert "throughput_ci" in pts[0]

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Benchmark the run-plan executors: serial vs process-pool wall-clock.
+
+Times the same 8-point load sweep under the ``serial`` and ``process``
+executors and writes ``BENCH_runplan.json`` with points/sec, wall-clock
+seconds and the parallel speedup.  The sweep points are mutually
+independent simulations, so on an N-core machine the expected speedup
+approaches min(N, points); on a single core the process executor's
+pickling overhead makes speedup <= 1 — the report records ``cpu_count``
+so results are interpretable either way.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_runplan.py            # defaults
+    PYTHONPATH=src python tools/bench_runplan.py --jobs 4 --warmup 2500
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.network.config import paper_vct_config
+from repro.runplan import RunSpec, canonical_record_json, execute
+
+DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+def time_executor(spec: RunSpec, executor: str, jobs: int) -> tuple[float, list[dict]]:
+    start = time.perf_counter()
+    records = execute(spec, executor=executor, jobs=jobs, aggregate=False)
+    return time.perf_counter() - start, records
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--routing", default="olm")
+    ap.add_argument("--warmup", type=int, default=1500)
+    ap.add_argument("--measure", type=int, default=1500)
+    ap.add_argument("--jobs", type=int, default=None,
+                    help="process-pool size (default: all cores)")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--out", default="BENCH_runplan.json")
+    args = ap.parse_args(argv)
+
+    jobs = args.jobs or (os.cpu_count() or 1)
+    spec = RunSpec(
+        config=paper_vct_config(h=2, routing=args.routing, seed=args.seed),
+        pattern="uniform", loads=DEFAULT_LOADS,
+        warmup=args.warmup, measure=args.measure,
+    )
+    n = len(spec.expand())
+
+    serial_s, serial_records = time_executor(spec, "serial", 1)
+    process_s, process_records = time_executor(spec, "process", jobs)
+    identical = ([canonical_record_json(r) for r in serial_records]
+                 == [canonical_record_json(r) for r in process_records])
+
+    report = {
+        "bench": "runplan-executors",
+        "points": n,
+        "routing": args.routing,
+        "warmup": args.warmup,
+        "measure": args.measure,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 3),
+        "process_seconds": round(process_s, 3),
+        "serial_points_per_sec": round(n / serial_s, 3),
+        "process_points_per_sec": round(n / process_s, 3),
+        "speedup": round(serial_s / process_s, 3),
+        "records_identical": identical,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not identical:
+        print("ERROR: executor records diverged", flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
