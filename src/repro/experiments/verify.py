@@ -239,6 +239,16 @@ def render_experiments_md(results: dict[str, dict]) -> str:
         "--jobs 4 --seeds 3 --cache .runcache` reproduces everything "
         "in parallel with mean ± 95% CI records.",
         "",
+        "Each point runs on the timing-wheel cycle engine (PR 3: "
+        "cycle-indexed event buckets, an active-router set and idle "
+        "fast-forwarding).  The engine is byte-identical to the seed "
+        "engine on a pinned golden matrix "
+        "(`tests/test_engine_equivalence.py`), so these tables are "
+        "engine-revision-independent; `tools/bench_engine.py` writes "
+        "`BENCH_engine.json` with cycles/sec vs. the frozen seed hot "
+        "path (2-3.5x on sparse scenarios, ~1.1-1.3x when saturated "
+        "allocation dominates).",
+        "",
     ]
     passed = failed = 0
     for exp_id in sorted(CHECKS):

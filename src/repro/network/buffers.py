@@ -57,9 +57,14 @@ class InputPort:
 
     Only one flit per cycle can be read out of a physical port; a flit
     read keeps the port busy for its serialization time.
+
+    ``buffered`` counts the flits across this port's VCs.  It is
+    maintained by the engine (push on arrival/injection, pop on grant)
+    so the allocation loop can skip empty ports without touching their
+    VC lists.
     """
 
-    __slots__ = ("vcs", "busy_until", "rr", "index", "is_injection")
+    __slots__ = ("vcs", "busy_until", "rr", "index", "is_injection", "buffered")
 
     def __init__(self, num_vcs: int, capacity: int, index: int, is_injection: bool = False) -> None:
         self.vcs = [VCBuffer(capacity, v) for v in range(num_vcs)]
@@ -67,6 +72,7 @@ class InputPort:
         self.rr = 0  # round-robin pointer over VCs
         self.index = index
         self.is_injection = is_injection
+        self.buffered = 0
 
     def total_flits(self) -> int:
         return sum(len(vc) for vc in self.vcs)

@@ -98,6 +98,10 @@ class SimConfig:
             raise ValueError("threshold must be non-negative")
         if self.router_latency < 0:
             raise ValueError("router_latency must be non-negative")
+        if self.local_latency < 1 or self.global_latency < 1:
+            # a 0-cycle link would return credits within the granting
+            # cycle, which no credit-based router can model faithfully
+            raise ValueError("link latencies must be at least 1 cycle")
         # Derived defaults: remember which fields were left unset (``None``
         # sentinel) so :meth:`with_` recomputes them against the new base
         # values instead of freezing the stale resolved number.

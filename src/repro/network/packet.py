@@ -99,6 +99,8 @@ def flitize(packet: Packet, flit_size: int) -> list[Flit]:
     """
     if flit_size <= 0:
         raise ValueError("flit_size must be positive")
+    if flit_size >= packet.size_phits:  # VCT fast path: the packet is one flit
+        return [Flit(packet, 0, packet.size_phits, True, True)]
     n = max(1, -(-packet.size_phits // flit_size))
     sizes = [flit_size] * (n - 1) + [packet.size_phits - flit_size * (n - 1)]
     flits = [

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.topology.dragonfly import PortKind
+from repro.topology.base import PortKind
 
 
 class OutputUnit:

@@ -11,25 +11,31 @@ global ports:
 Each physical input reads at most one flit per cycle (serialization =
 flit phits); each output transmits at most one flit at a time.  The
 allocation itself lives in :mod:`repro.network.simulator`.
+
+The router is topology-agnostic: the port layout above is derived from
+the :class:`~repro.topology.base.Topology` protocol sizes (``p``,
+``a``, ``h``) and wired through the protocol's neighbour maps, so any
+registered fabric — Dragonfly or otherwise — rides the same engine
+fast path.
 """
 
 from __future__ import annotations
 
 from repro.network.buffers import InputPort
 from repro.network.ports import OutputUnit
-from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.base import PortKind, Topology
 
 #: practically-infinite capacity for injection queues (open-loop sources)
 INJECTION_CAPACITY = 1 << 60
 
 
 class Router:
-    """One Dragonfly router: input VC buffers + output credit state."""
+    """One router: input VC buffers + output credit state."""
 
     __slots__ = ("rid", "group", "idx", "inputs", "outputs", "pending",
                  "_p", "_a", "_h", "_local_base", "_global_base")
 
-    def __init__(self, rid: int, topo: Dragonfly, *, local_vcs: int, global_vcs: int,
+    def __init__(self, rid: int, topo: Topology, *, local_vcs: int, global_vcs: int,
                  local_capacity: int, global_capacity: int,
                  local_latency: int, global_latency: int) -> None:
         self.rid = rid

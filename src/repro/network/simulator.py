@@ -10,6 +10,32 @@ algorithm instance and the traffic process.  Each cycle it
 5. performs routing + switch allocation at every router with buffered
    flits (round-robin over the VCs of an input port, round-robin over
    the input ports requesting an output port).
+
+Hot-path design (PR 3) — the engine emits *byte-identical* records to
+the seed engine (see ``tests/test_engine_equivalence.py``) while doing
+strictly less work per cycle:
+
+* **timing wheel** — in-flight flits and returning credits live in a
+  cycle-indexed ring of reusable buckets (``when % horizon``) instead
+  of dict-of-lists event maps: O(1) pop, no hashing, no ``setdefault``
+  churn, no list allocation in steady state.  The horizon covers the
+  maximum schedulable delay (link latency + flit serialization +
+  router pipeline), so slots never collide.
+* **active-router set** — ``step()`` visits only routers with buffered
+  flits (tracked by router id, iterated in ascending id order so the
+  arbitration RNG stream is unchanged) instead of scanning all
+  ``num_routers`` every cycle.
+* **idle fast-forward** — ``run``/``run_until_drained`` jump ``now``
+  straight to the next scheduled event when no router holds a flit and
+  the traffic process cannot inject (exhausted burst, zero load).
+  Skipped cycles are provably no-ops, so records are unchanged; the
+  win is huge on burst-drain tails (paper Figs 6b/9b).  Fast-forward
+  is disabled when the routing algorithm has a per-cycle hook
+  (Piggybacking broadcasts must observe every cycle).
+
+The pre-rewrite hot path survives verbatim as
+:class:`repro.network.reference.ReferenceSimulator` for benchmarking
+(``tools/bench_engine.py``) and golden-record fidelity checks.
 """
 
 from __future__ import annotations
@@ -17,14 +43,17 @@ from __future__ import annotations
 import random
 
 from repro.core import MisroutingTrigger, routing_by_name
+from repro.core.base import RoutingAlgorithm
 from repro.metrics.collector import StatsCollector
 from repro.network import arbitration as _arbitration  # noqa: F401 (registers arbiters)
 from repro.network.config import SimConfig
 from repro.network.flowcontrol import FlowControl  # noqa: F401 (registers policies)
-from repro.network.packet import Packet
+from repro.network.packet import Flit, Packet
 from repro.network.router import Router
 from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY, TOPOLOGY_REGISTRY
 from repro.topology import PortKind
+
+_EJECT = PortKind.EJECT
 
 
 class DeadlockError(RuntimeError):
@@ -78,17 +107,36 @@ class Simulator:
         self.traffic = traffic
         self.stats = StatsCollector()
         #: hooks ``(packet, cycle) -> None`` fired at tail ejection, in
-        #: registration order (see :meth:`add_delivery_observer`)
+        #: registration order, legacy hook last (see :meth:`add_delivery_observer`)
         self._delivery_observers: list = []
         self._legacy_observer = None
         self.now = 0
         self.packets_in_flight = 0
         self._next_pid = 0
-        self._arrivals: dict[int, list] = {}
-        self._credit_events: dict[int, list] = {}
         self._last_progress = 0
         self.arbiter = ARBITER_REGISTRY.get(config.arbitration)()
         self._router_latency = config.router_latency
+
+        # ---- timing wheel: one slot per cycle of the scheduling horizon.
+        # The horizon bounds every schedulable delay: flow-control arrival
+        # delay on the slowest link for the largest flit, plus the router
+        # pipeline, plus credit return (= link latency <= arrival delay).
+        max_latency = max(config.local_latency, config.global_latency)
+        probe = Flit(Packet(0, 0, 1, config.packet_phits, 0, 0, 0, 0, 0), 0,
+                     max(config.packet_phits, config.flit_phits), True, True)
+        self._horizon = (max(self.fc.arrival_delay(max_latency, probe), max_latency)
+                         + config.router_latency + 2)
+        self._arr_wheel: list[list] = [[] for _ in range(self._horizon)]
+        self._cr_wheel: list[list] = [[] for _ in range(self._horizon)]
+        self._pending_events = 0
+        #: router ids with at least one buffered flit (``router.pending > 0``)
+        self._active: set[int] = set()
+        # per-cycle routing hook, resolved once: ``None`` when the
+        # mechanism never overrode the base no-op (every mechanism but
+        # Piggybacking), which also licenses idle fast-forwarding
+        overridden = type(self.algo).per_cycle is not RoutingAlgorithm.per_cycle
+        self._per_cycle = self.algo.per_cycle if overridden else None
+        self._fc_arrival_delay = self.fc.arrival_delay
 
     # ------------------------------------------------------------- observers
     def add_delivery_observer(self, fn):
@@ -96,9 +144,18 @@ class Simulator:
 
         Returns ``fn`` so the method can be used as a decorator.  Any
         number of observers may be attached (metrics probes, trace
-        writers, the Session latency recorder, ...).
+        writers, the Session latency recorder, ...).  Observers fire in
+        registration order; the legacy ``on_packet_delivered`` hook —
+        if assigned — always fires last, regardless of whether it was
+        assigned before or after the observers.
         """
-        self._delivery_observers = [*self._delivery_observers, fn]
+        observers = list(self._delivery_observers)
+        legacy = self._legacy_observer
+        if legacy is not None and observers and observers[-1] is legacy:
+            observers.insert(len(observers) - 1, fn)
+        else:
+            observers.append(fn)
+        self._delivery_observers = observers
         return fn
 
     def remove_delivery_observer(self, fn) -> None:
@@ -114,7 +171,12 @@ class Simulator:
 
     @property
     def on_packet_delivered(self):
-        """Legacy single-observer hook (shim over the observer list)."""
+        """Legacy single-observer hook (shim over the observer list).
+
+        The hook is kept at the end of the observer list: it fires
+        *after* every observer added via :meth:`add_delivery_observer`,
+        and re-assigning it keeps it last.
+        """
         return self._legacy_observer
 
     @on_packet_delivered.setter
@@ -157,10 +219,14 @@ class Simulator:
             pkt.hops_log = []
         flits = self.fc.flits_of(pkt)
         router = self.routers[sr]
-        vcb = router.inputs[topo.node_index(src)].vcs[0]
+        port = router.inputs[topo.node_index(src)]
+        vcb = port.vcs[0]
         for f in flits:
             vcb.push(f)
-        router.pending += len(flits)
+        n = len(flits)
+        port.buffered += n
+        router.pending += n
+        self._active.add(sr)
         self.stats.on_generated(pkt)
         self.packets_in_flight += 1
         return pkt
@@ -169,37 +235,119 @@ class Simulator:
     def step(self) -> None:
         """Advance the simulation by one cycle."""
         t = self.now
-        arrivals = self._arrivals.pop(t, None)
-        if arrivals:
-            for router, port_idx, vc_idx, flit in arrivals:
-                router.inputs[port_idx].vcs[vc_idx].push(flit)
+        slot = t % self._horizon
+        bucket = self._arr_wheel[slot]
+        if bucket:
+            active_add = self._active.add
+            for router, port_idx, vc_idx, flit in bucket:
+                port = router.inputs[port_idx]
+                port.vcs[vc_idx].push(flit)
+                port.buffered += 1
                 router.pending += 1
-        credits = self._credit_events.pop(t, None)
-        if credits:
-            for out, vc, amount in credits:
+                active_add(router.rid)
+            self._pending_events -= len(bucket)
+            bucket.clear()
+            # a scheduled arrival landing is forward progress: without
+            # this, packets whose flits are all in flight on links longer
+            # than ``deadlock_window`` would trip the deadlock detector
+            self._last_progress = t
+        bucket = self._cr_wheel[slot]
+        if bucket:
+            for out, vc, amount in bucket:
                 out.credits[vc] += amount
+            self._pending_events -= len(bucket)
+            bucket.clear()
+            self._last_progress = t
         if self.traffic is not None:
             self.traffic.inject(self, t)
-        self.algo.per_cycle(self, t)
-        for router in self.routers:
-            if router.pending:
-                self._process_router(router, t)
+        per_cycle = self._per_cycle
+        if per_cycle is not None:
+            per_cycle(self, t)
+        active = self._active
+        if active:
+            routers = self.routers
+            process = self._process_router
+            # ascending router id, as the seed engine scanned: the order
+            # feeds the arbitration RNG stream and must not change
+            rids = sorted(active) if len(active) > 1 else tuple(active)
+            for rid in rids:
+                router = routers[rid]
+                if router.pending:
+                    process(router, t)
+                    if not router.pending:
+                        active.discard(rid)
+                else:  # defensively drop stale members
+                    active.discard(rid)
         self.now = t + 1
 
+    def _next_event_cycle(self) -> int | None:
+        """Earliest cycle >= ``now`` with a scheduled arrival or credit.
+
+        Offsets ``0..horizon-1`` cover every live slot: an event due at
+        ``now`` itself (offset 0, not yet popped) must map to ``now``,
+        never alias to ``now + horizon``.
+        """
+        if not self._pending_events:
+            return None
+        horizon = self._horizon
+        now = self.now
+        arr, cr = self._arr_wheel, self._cr_wheel
+        for off in range(horizon):
+            slot = (now + off) % horizon
+            if arr[slot] or cr[slot]:
+                return now + off
+        return None  # unreachable while _pending_events is consistent
+
+    def _fast_forward_target(self, limit: int) -> int | None:
+        """Latest cycle <= ``limit`` the engine may jump to, or ``None``.
+
+        A jump is sound only when every skipped cycle is provably a
+        no-op: no router holds a flit, the routing mechanism has no
+        per-cycle hook (Piggybacking must observe every cycle), and the
+        traffic process either cannot inject any more (``exhausted``,
+        burst spent, zero load) or knows its next injection cycle
+        (``next_injection_cycle``, implemented by trace/burst
+        processes).  The target is the earliest of the next scheduled
+        arrival/credit, the next possible injection, and ``limit``.
+        """
+        if self._active or self._per_cycle is not None:
+            return None
+        traffic = self.traffic
+        if traffic is None or getattr(traffic, "exhausted", False):
+            tin = None
+        else:
+            nic = getattr(traffic, "next_injection_cycle", None)
+            if nic is None:
+                return None  # opaque open-loop source: every cycle may inject
+            tin = nic(self.now)
+        nxt = self._next_event_cycle()
+        target = min(t for t in (tin, nxt, limit) if t is not None)
+        return target if target > self.now else None
+
     def run(self, cycles: int) -> None:
-        """Run ``cycles`` cycles, watching for deadlock."""
+        """Run ``cycles`` cycles, watching for deadlock.
+
+        Cycles in which provably nothing can happen (no buffered flit,
+        no possible injection) are skipped by jumping straight to the
+        next scheduled arrival/credit/injection event.
+        """
         end = self.now + cycles
         window = self.config.deadlock_window
         while self.now < end:
             self.step()
             if (
                 self.packets_in_flight
+                and not self._pending_events
                 and self.now - self._last_progress > window
             ):
                 raise DeadlockError(
                     f"no flit moved for {window} cycles at t={self.now} "
                     f"with {self.packets_in_flight} packets in flight"
                 )
+            if self.now < end:
+                target = self._fast_forward_target(end)
+                if target is not None:
+                    self.now = target
 
     def run_until_drained(self, max_cycles: int) -> int:
         """Run until all traffic is injected and delivered; return the cycle count.
@@ -223,70 +371,122 @@ class Simulator:
                     f"not drained after {max_cycles} cycles "
                     f"({self.packets_in_flight} packets left)"
                 )
-            if self.now - self._last_progress > window:
+            if (
+                not self._pending_events
+                and self.now - self._last_progress > window
+            ):
                 raise DeadlockError(
                     f"no flit moved for {window} cycles at t={self.now} "
                     f"with {self.packets_in_flight} packets in flight"
                 )
+            # never jump past the drain budget: the timeout check above
+            # must fire exactly as it would cycle-by-cycle
+            target = self._fast_forward_target(start + max_cycles)
+            if target is not None:
+                self.now = target
         return self.now - start
 
     # ------------------------------------------------------------ allocation
     def _process_router(self, router: Router, t: int) -> None:
-        requests: dict[int, list] | None = None
-        algo = self.algo
+        sels = None
+        algo_decide = self.algo.decide
+        remaining = router.pending  # stop scanning once every flit is seen
         for ip in router.inputs:
-            if ip.busy_until > t:
+            buffered = ip.buffered
+            if not buffered:
                 continue
-            vcs = ip.vcs
-            nv = len(vcs)
-            rr = ip.rr
-            sel = None
-            for off in range(nv):
-                vi = rr + off
-                if vi >= nv:
-                    vi -= nv
-                vcb = vcs[vi]
-                if not vcb.fifo:
-                    continue
-                flit = vcb.fifo[0]
-                if vcb.route_out is None:
-                    # a head flit awaiting (or re-evaluating) its routing decision
-                    dec = algo.decide(router, flit.packet, t, flit)
-                    if dec is None:
+            if ip.busy_until <= t:
+                vcs = ip.vcs
+                nv = len(vcs)
+                rr = ip.rr
+                sel = None
+                for off in range(nv):
+                    vi = rr + off
+                    if vi >= nv:
+                        vi -= nv
+                    vcb = vcs[vi]
+                    fifo = vcb.fifo
+                    if not fifo:
                         continue
-                    sel = (ip, vcb, flit, dec.out, dec.vc, dec)
-                else:
-                    oidx, ovc = vcb.route_out, vcb.route_vc
-                    if not router.can_accept_body(oidx, ovc, flit, t):
-                        continue
-                    sel = (ip, vcb, flit, oidx, ovc, None)
+                    flit = fifo[0]
+                    oidx = vcb.route_out
+                    if oidx is None:
+                        # a head flit awaiting (or re-evaluating) its routing decision
+                        dec = algo_decide(router, flit.packet, t, flit)
+                        if dec is None:
+                            continue
+                        sel = (ip, vcb, flit, dec.out, dec.vc, dec)
+                    else:
+                        # body/tail flit following its head: Router.can_accept_body,
+                        # inlined (hot under Wormhole: one check per flit per cycle)
+                        ovc = vcb.route_vc
+                        o = router.outputs[oidx]
+                        if o.busy_until > t:
+                            continue
+                        if o.kind is not _EJECT and (
+                            o.credits[ovc] < flit.size
+                            or o.owner[ovc] != flit.packet.pid
+                        ):
+                            continue
+                        sel = (ip, vcb, flit, oidx, ovc, None)
+                    break
+                if sel is not None:
+                    if sels is None:
+                        sels = [sel]
+                    else:
+                        sels.append(sel)
+            remaining -= buffered
+            if not remaining:
                 break
-            if sel is not None:
-                if requests is None:
-                    requests = {}
-                requests.setdefault(sel[3], []).append(sel)
-        if not requests:
+        if sels is None:
             return
+        outputs = router.outputs
         nin = len(router.inputs)
-        arbiter = self.arbiter
-        for oidx, reqs in requests.items():
-            out = router.outputs[oidx]
-            if len(reqs) == 1:
-                win = reqs[0]
+        grant = self._grant
+        if len(sels) == 1:  # uncontested cycle: skip the grouping pass
+            sel = sels[0]
+            out = outputs[sel[3]]
+            out.rr = (sel[0].index + 1) % nin
+            grant(router, out, sel, t)
+            return
+        # group by requested output, insertion-ordered like the seed
+        # engine's dict-of-lists; bare tuples dodge the per-output list
+        # allocation in the common uncontested case
+        requests: dict = {}
+        requests_get = requests.get
+        for sel in sels:
+            o = sel[3]
+            prev = requests_get(o)
+            if prev is None:
+                requests[o] = sel
+            elif type(prev) is list:
+                prev.append(sel)
             else:
-                win = arbiter.pick(reqs, out, nin, self.rng_route)
+                requests[o] = [prev, sel]
+        arbiter = self.arbiter
+        rng = self.rng_route
+        for o, entry in requests.items():
+            out = outputs[o]
+            if type(entry) is list:
+                win = arbiter.pick(entry, out, nin, rng)
+            else:
+                win = entry
             out.rr = (win[0].index + 1) % nin
-            self._grant(router, out, win, t)
+            grant(router, out, win, t)
 
     def _grant(self, router: Router, out, sel, t: int) -> None:
         ip, vcb, flit, oidx, ovc, dec = sel
-        vcb.pop()
+        size = flit.size
+        vcb.fifo.popleft()
+        vcb.occupancy -= size
         router.pending -= 1
-        ip.busy_until = t + flit.size
+        ip.buffered -= 1
+        busy = t + size
+        ip.busy_until = busy
         ip.rr = (vcb.vc_index + 1) % len(ip.vcs)
-        out.busy_until = t + flit.size
+        out.busy_until = busy
         pkt = flit.packet
-        is_eject = out.kind == PortKind.EJECT
+        is_eject = out.kind is _EJECT
         if dec is not None:
             self.algo.on_hop(router, pkt, dec)
             if pkt.hops_log is not None:
@@ -303,7 +503,7 @@ class Simulator:
                 out.owner[ovc] = None
         if is_eject:
             if flit.is_tail:
-                done = t + flit.size
+                done = busy
                 pkt.delivered_cycle = done
                 self.stats.on_delivered(pkt, done)
                 self.packets_in_flight -= 1
@@ -312,21 +512,37 @@ class Simulator:
                     for observer in self._delivery_observers:
                         observer(pkt, done)
         else:
-            out.credits[ovc] -= flit.size
-            when = t + self.fc.arrival_delay(out.latency, flit) + self._router_latency
-            self._arrivals.setdefault(when, []).append(
+            out.credits[ovc] -= size
+            when = t + self._fc_arrival_delay(out.latency, flit) + self._router_latency
+            if when - t >= self._horizon:
+                raise ValueError(
+                    f"arrival delay {when - t} exceeds the timing-wheel "
+                    f"horizon {self._horizon}; the flow-control policy "
+                    "reported a larger delay at grant time than at setup"
+                )
+            self._arr_wheel[when % self._horizon].append(
                 (self.routers[out.dest_router], out.dest_port, ovc, flit)
             )
+            self._pending_events += 1
         up = vcb.upstream_output
         if up is not None:
-            self._credit_events.setdefault(t + up.latency, []).append(
-                (up, vcb.vc_index, flit.size)
+            self._cr_wheel[(t + up.latency) % self._horizon].append(
+                (up, vcb.vc_index, size)
             )
+            self._pending_events += 1
         self._last_progress = t
 
     # ------------------------------------------------------------ utilities
     def total_buffered_flits(self) -> int:
         return sum(r.buffered_flits() for r in self.routers)
+
+    def arrivals_due(self, when: int) -> list:
+        """Flit arrivals scheduled for cycle ``when`` (introspection/tests).
+
+        Entries are ``(router, port_idx, vc_idx, flit)`` tuples; the
+        list is only meaningful for ``now <= when < now + horizon``.
+        """
+        return list(self._arr_wheel[when % self._horizon]) if self._horizon else []
 
 
 def build_simulator(config: SimConfig, traffic=None) -> Simulator:

@@ -21,8 +21,8 @@ from repro.topology.arrangements import (
     ConsecutiveArrangement,
     arrangement_by_name,
 )
-from repro.topology.base import Topology
-from repro.topology.dragonfly import Dragonfly, PortKind, OutputPort
+from repro.topology.base import OutputPort, PortKind, Topology
+from repro.topology.dragonfly import Dragonfly
 from repro.topology.validate import validate_topology
 
 __all__ = [

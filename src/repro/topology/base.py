@@ -3,20 +3,47 @@
 A registered topology (see ``repro.registry.TOPOLOGY_REGISTRY``) is any
 class exposing this surface.  The engine builds it from a
 :class:`~repro.network.config.SimConfig` via ``from_config`` and only
-ever talks to the protocol — ``Simulator`` has no knowledge of which
-fabric it is driving.  The shipped implementation is the
-:class:`~repro.topology.dragonfly.Dragonfly`; third parties register
-their own fabrics without touching the engine.
+ever talks to the protocol — ``Simulator`` and ``Router`` have no
+knowledge of which fabric they are driving.  The shipped implementation
+is the :class:`~repro.topology.dragonfly.Dragonfly`; third parties
+register their own fabrics without touching the engine.
 
 The protocol is hierarchical (nodes -> routers -> groups) because the
 router port model (eject/local/global) and the paper's routing
 mechanisms are expressed against that structure; a flat fabric can
 present itself as a single group.
+
+:class:`PortKind` and :class:`OutputPort` live here too: the router
+port layout (``p`` ejection, ``a-1`` local, ``h`` global ports) is
+part of the protocol contract, not of any one fabric.
 """
 
 from __future__ import annotations
 
+import enum
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
+
+
+class PortKind(enum.IntEnum):
+    """Kind of a router output port."""
+
+    EJECT = 0
+    LOCAL = 1
+    GLOBAL = 2
+
+
+@dataclass(frozen=True)
+class OutputPort:
+    """An output port of a specific router.
+
+    ``index`` is the port number within its kind: ejection port
+    ``0..p-1`` (one per attached node), local port ``0..a-2``, global
+    port ``0..h-1``.
+    """
+
+    kind: PortKind
+    index: int
 
 
 @runtime_checkable
@@ -58,4 +85,4 @@ class Topology(Protocol):
     def minimal_hops(self, src_router: int, dst_router: int) -> int: ...
 
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "PortKind", "OutputPort"]

@@ -6,32 +6,9 @@ loop only does list indexing.
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-
 from repro.registry import TOPOLOGY_REGISTRY
 from repro.topology.arrangements import GlobalArrangement, arrangement_by_name
-
-
-class PortKind(enum.IntEnum):
-    """Kind of a router output port."""
-
-    EJECT = 0
-    LOCAL = 1
-    GLOBAL = 2
-
-
-@dataclass(frozen=True)
-class OutputPort:
-    """An output port of a specific router.
-
-    ``index`` is the port number within its kind: ejection port
-    ``0..p-1`` (one per attached node), local port ``0..a-2``, global
-    port ``0..h-1``.
-    """
-
-    kind: PortKind
-    index: int
+from repro.topology.base import OutputPort, PortKind  # noqa: F401 (back-compat re-export)
 
 
 @TOPOLOGY_REGISTRY.register(

@@ -11,7 +11,8 @@ group ``g+1``.
 
 from __future__ import annotations
 
-from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.base import PortKind
+from repro.topology.dragonfly import Dragonfly
 
 
 def hamiltonian_ring(topo: Dragonfly) -> dict[int, tuple[int, PortKind, int]]:

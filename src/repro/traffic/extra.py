@@ -151,3 +151,14 @@ class TraceReplay:
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self.records)
+
+    def next_injection_cycle(self, now: int) -> int | None:
+        """Earliest cycle >= ``now`` at which this trace can inject.
+
+        Part of the optional fast-forward protocol: the engine skips
+        cycles it can prove are quiet, so a sparse trace no longer pays
+        a full engine cycle per empty gap cycle.
+        """
+        if self._cursor >= len(self.records):
+            return None
+        return max(now, self.records[self._cursor][0])

@@ -26,17 +26,23 @@ class BernoulliTraffic:
         return self.load == 0
 
     def inject(self, sim, now: int) -> None:
+        # Runs every cycle for every node: everything is hoisted out of
+        # the loop, but the per-node draw order (one uniform per node,
+        # destination draws interleaved on hits) is the seed engine's
+        # RNG stream, byte for byte.
         p = self.load / sim.config.packet_phits
         if p <= 0:
             return
         rng = sim.rng_traffic
+        rand = rng.random
         topo = sim.topo
         dest = self.pattern.dest
+        inject_packet = sim.inject_packet
         for node in range(topo.num_nodes):
-            if rng.random() < p:
+            if rand() < p:
                 d = dest(node, topo, rng)
                 if d != node:
-                    sim.inject_packet(node, d, now)
+                    inject_packet(node, d, now)
 
 
 @PROCESS_REGISTRY.register("burst", description="each node queues a fixed burst at cycle 0")
@@ -57,6 +63,10 @@ class BurstTraffic:
     @property
     def exhausted(self) -> bool:
         return self._injected
+
+    def next_injection_cycle(self, now: int) -> int | None:
+        """Fast-forward protocol: the burst lands on the next inject call."""
+        return None if self._injected else now
 
     def inject(self, sim, now: int) -> None:
         if self._injected:

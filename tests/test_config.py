@@ -23,6 +23,10 @@ def test_validation():
         SimConfig(packet_phits=0)
     with pytest.raises(ValueError):
         SimConfig(threshold=-0.1)
+    with pytest.raises(ValueError, match="latencies"):
+        SimConfig(local_latency=0)
+    with pytest.raises(ValueError, match="latencies"):
+        SimConfig(global_latency=0)
 
 
 def test_with_copies():

@@ -90,6 +90,30 @@ def test_factory():
         flow_control_by_name("bubble")
 
 
+def test_factory_wh_requires_explicit_flit_size():
+    """The old default (flit_size=0) crashed deep inside Wormhole.__init__."""
+    with pytest.raises(ValueError, match="explicit flit size"):
+        flow_control_by_name("wh")
+    with pytest.raises(ValueError, match="flit_size must be positive"):
+        flow_control_by_name("wh", flit_size=0)  # explicit garbage stays loud
+    assert isinstance(flow_control_by_name("vct"), VirtualCutThrough)  # no size needed
+
+
+def test_both_policies_build_from_config():
+    from repro.network.config import paper_vct_config, paper_wh_config
+    from repro.registry import FLOW_CONTROL_REGISTRY
+
+    vct_cfg, wh_cfg = paper_vct_config(), paper_wh_config()
+    vct = FLOW_CONTROL_REGISTRY.get(vct_cfg.flow_control).from_config(vct_cfg)
+    assert isinstance(vct, VirtualCutThrough)
+    wh = FLOW_CONTROL_REGISTRY.get(wh_cfg.flow_control).from_config(wh_cfg)
+    assert isinstance(wh, Wormhole) and wh.flit_size == wh_cfg.flit_phits
+    p = make_packet(wh_cfg.packet_phits)
+    assert sum(f.size for f in wh.flits_of(p)) == wh_cfg.packet_phits
+    (vf,) = vct.flits_of(make_packet(vct_cfg.packet_phits))
+    assert vf.is_head and vf.is_tail
+
+
 def test_packet_initial_routing_state():
     p = make_packet()
     assert p.valiant_group is None

@@ -132,6 +132,29 @@ def test_legacy_on_packet_delivered_shim():
     assert len(extra) == sim.stats.delivered
 
 
+def test_legacy_hook_always_fires_last():
+    """Pinned firing order: observers in registration order, legacy hook last.
+
+    The seed engine only kept the legacy hook last when it was assigned
+    *after* the observers; an observer added later slipped behind it.
+    """
+    sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=8),
+                                BernoulliTraffic(UniformRandom(), 0.4))
+    order = []
+    sim.on_packet_delivered = lambda pkt, now: order.append("legacy")
+    sim.add_delivery_observer(lambda pkt, now: order.append("a"))
+    sim.add_delivery_observer(lambda pkt, now: order.append("b"))
+    while not order:
+        sim.step()
+    assert order == ["a", "b", "legacy"]
+    # re-assigning the legacy hook keeps it last
+    order.clear()
+    sim.on_packet_delivered = lambda pkt, now: order.append("legacy2")
+    while not order:
+        sim.step()
+    assert order == ["a", "b", "legacy2"]
+
+
 def test_legacy_shim_tolerates_manual_removal():
     sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=3))
     hook = lambda pkt, now: None

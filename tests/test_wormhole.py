@@ -37,7 +37,7 @@ def test_flits_arrive_in_order_single_vc():
     sim.traffic = BernoulliTraffic(UniformRandom(), 0.3)
     seen: dict[tuple, list] = {}
     for _ in range(2500):
-        for router, port_idx, vc_idx, flit in sim._arrivals.get(sim.now, []):
+        for router, port_idx, vc_idx, flit in sim.arrivals_due(sim.now):
             key = (router.rid, port_idx, vc_idx, flit.packet.pid)
             seen.setdefault(key, []).append(flit.index)
         sim.step()
