@@ -51,7 +51,17 @@ from repro.registry import (
     UnknownComponentError,
     all_registries,
 )
-from repro.facade import RunResult, Session, run_drain, run_point, session
+from repro.facade import (
+    RunResult,
+    SeriesResult,
+    Session,
+    run_drain,
+    run_point,
+    run_transient,
+    session,
+)
+from repro.metrics import LatencyTap, MetricsHub
+from repro.network.taps import Tap
 from repro.runplan import (
     EXECUTOR_REGISTRY,
     ResultCache,
@@ -74,8 +84,14 @@ __all__ = [
     "session",
     "Session",
     "RunResult",
+    "SeriesResult",
     "run_point",
     "run_drain",
+    "run_transient",
+    # observability (taps + hub)
+    "Tap",
+    "MetricsHub",
+    "LatencyTap",
     # run plans (parallel execution, caching, replication)
     "RunSpec",
     "RunPoint",

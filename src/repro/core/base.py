@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.paritysign import link_type
 from repro.core.trigger import MisroutingTrigger
-from repro.topology.dragonfly import Dragonfly, PortKind
+from repro.topology.base import PortKind, Topology
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.network
     from repro.network.packet import Packet
@@ -56,7 +56,7 @@ class RoutingAlgorithm(abc.ABC):
     #: True when the mechanism relies on whole-packet reservation (OLM)
     requires_vct = False
 
-    def __init__(self, topo: Dragonfly, config, trigger: MisroutingTrigger, rng) -> None:
+    def __init__(self, topo: Topology, config, trigger: MisroutingTrigger, rng) -> None:
         self.topo = topo
         self.config = config
         self.trigger = trigger
@@ -74,6 +74,15 @@ class RoutingAlgorithm(abc.ABC):
 
     def per_cycle(self, sim, now: int) -> None:
         """Hook called once per cycle (used by Piggybacking broadcasts)."""
+
+    def is_escape_hop(self, kind: PortKind, vc: int) -> bool:
+        """Whether a hop on ``(kind, vc)`` rides an escape subnetwork.
+
+        Only deadlock-avoidance mechanisms with a dedicated escape
+        resource override this (OFAR's bubble ring); the engine uses it
+        to fire the ``on_ring_entry`` instrumentation tap.
+        """
+        return False
 
     def on_hop(self, router, packet: Packet, decision: Decision) -> None:
         """Apply packet-state updates when a head flit is granted.

@@ -8,7 +8,7 @@ paper's uniform-traffic comparison.
 from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
-from repro.topology.dragonfly import PortKind
+from repro.topology.base import PortKind
 from repro.registry import ROUTING_REGISTRY
 
 

@@ -28,7 +28,7 @@ Modelling notes:
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting, Decision
-from repro.topology.dragonfly import PortKind
+from repro.topology.base import PortKind
 from repro.topology.ring import hamiltonian_ring
 from repro.registry import ROUTING_REGISTRY
 
@@ -91,6 +91,11 @@ class OfarRouting(AdaptiveRouting):
         if out.credits[vc] < bubbles * flit.size:
             return None  # bubble condition not met
         return Decision(out_idx, vc, local_target=target)
+
+    def is_escape_hop(self, kind: PortKind, vc: int) -> bool:
+        """The dedicated ring VCs are the escape resource (engine ring tap)."""
+        return ((kind == PortKind.LOCAL and vc == self.ESCAPE_LVC)
+                or (kind == PortKind.GLOBAL and vc == self.ESCAPE_GVC))
 
     def on_hop(self, router, packet, decision) -> None:
         out = router.outputs[decision.out]

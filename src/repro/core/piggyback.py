@@ -19,7 +19,7 @@ ADVL traffic in Figure 6a.
 from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
-from repro.topology.dragonfly import PortKind
+from repro.topology.base import PortKind
 from repro.registry import ROUTING_REGISTRY
 
 

@@ -9,7 +9,7 @@ baseline for adversarial-global traffic.
 from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
-from repro.topology.dragonfly import PortKind
+from repro.topology.base import PortKind
 from repro.registry import ROUTING_REGISTRY
 
 

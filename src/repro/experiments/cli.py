@@ -74,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="offered load in phits/(node*cycle)")
     point.add_argument("--warmup", type=int, default=2000)
     point.add_argument("--measure", type=int, default=2000)
+    point.add_argument("--auto-warmup", action="store_true",
+                       help="replace the blind warm-up with the auto "
+                            "steady-state rule (--warmup becomes the cap)")
+    point.add_argument("--series", type=int, metavar="BUCKET", default=None,
+                       help="collect BUCKET-cycle time series over the "
+                            "measurement window (throughput, latency "
+                            "percentiles, occupancy, misroute rates)")
+    point.add_argument("--probe", action="store_true",
+                       help="include end-of-run occupancy and "
+                            "injection-backlog snapshots in the payload")
+    point.add_argument("--jsonl", metavar="FILE",
+                       help="write the series record stream (meta/bucket/"
+                            "summary rows) as JSONL; implies --series 250 "
+                            "unless --series is given")
     point.add_argument("--json", help="write config + result JSON to this file")
     sweep = sub.add_parser(
         "sweep", help="run a declarative load sweep through the run-plan layer")
@@ -92,6 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale preset fixing h and the measurement windows")
     sweep.add_argument("--warmup", type=int, help="override the scale's warm-up cycles")
     sweep.add_argument("--measure", type=int, help="override the scale's measure cycles")
+    sweep.add_argument("--auto-warmup", action="store_true",
+                       help="auto-detect steady state per point instead of "
+                            "a blind warm-up (the warm-up cycles become a cap)")
     sweep.add_argument("--seed", type=int, default=None,
                        help="base seed (default: the --config file's seed, else 1)")
     _add_plan_arguments(sweep)
@@ -136,14 +153,47 @@ def _run_point(args) -> None:
         config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
     else:
         config = SimConfig()
-    result = (session(config, pattern=args.pattern, load=args.load)
-              .warmup(args.warmup).measure(args.measure))
+    s = session(config, pattern=args.pattern, load=args.load)
+    if args.auto_warmup:
+        s.warmup_until_steady(max_cycles=args.warmup)
+    else:
+        s.warmup(args.warmup)
+    bucket = args.series if args.series is not None else (250 if args.jsonl else None)
+    if bucket is not None:
+        sr = s.measure_series(args.measure, bucket=bucket)
+        result = sr.result
+    else:
+        sr = None
+        result = s.measure(args.measure)
     payload = {
         "config": config.to_dict(),
         "pattern": args.pattern,
         "load": args.load,
         "result": _sanitize(result.to_dict()),
     }
+    if args.auto_warmup:
+        payload["auto_warmup"] = _sanitize(dict(s.auto_warmup))
+    if sr is not None:
+        payload["series"] = _sanitize({"bucket": sr.bucket,
+                                       "start_cycle": sr.start_cycle,
+                                       **sr.series})
+    if args.probe:
+        from repro.metrics.probes import injection_backlog, occupancy_snapshot
+
+        payload["probe"] = _sanitize({
+            "occupancy": occupancy_snapshot(s.sim),
+            "injection_backlog": injection_backlog(s.sim),
+        })
+    if args.jsonl and sr is not None:
+        from repro.metrics.hub import jsonl_line
+
+        path = Path(args.jsonl)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {"pattern": args.pattern, "load": args.load,
+                "config_hash": config.content_hash()}
+        rows = [dict(sr.records[0], **meta)] + [dict(r) for r in sr.records[1:]]
+        path.write_text("\n".join(jsonl_line(r) for r in rows) + "\n")
+        payload["jsonl"] = str(path)
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.json:
         save_result(payload, args.json)
@@ -169,6 +219,7 @@ def _run_sweep(args) -> None:
         warmup=scale.warmup if args.warmup is None else args.warmup,
         measure=scale.measure if args.measure is None else args.measure,
         seeds=replica_seeds(config.seed, args.seeds),
+        steady=args.auto_warmup,
         series=config.routing,
     )
     executor = args.executor or executor_for_jobs(args.jobs)
@@ -181,6 +232,7 @@ def _run_sweep(args) -> None:
         "warmup": spec.warmup,
         "measure": spec.measure,
         "seeds": list(spec.seeds),
+        "auto_warmup": spec.steady,
         "executor": executor,
         "jobs": args.jobs,
         "records": records,

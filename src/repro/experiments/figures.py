@@ -166,6 +166,36 @@ def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
                    workers=workers, seeds=seeds, cache=cache)
 
 
+# --------------------------------------------- transient burst response (new)
+def burst_response(scale="tiny", bursts=None, seed=1, workers=1, seeds=1,
+                   cache=None) -> dict:
+    """Transient burst response: recovery time after a load step, VCT.
+
+    Not a paper figure — the congestion story of §II told as a time
+    series: steady uniform traffic at the scale's base load, a
+    per-node packet burst stepped on top, and the cycles until the
+    throughput series settles back onto the pre-step baseline
+    (``recovery_cycles``, via auto-detected steady state and the
+    event-driven metrics hub), per mechanism and burst size.
+    """
+    scale = get_scale(scale)
+    bursts = tuple(bursts) if bursts is not None else scale.trans_bursts
+    specs = [
+        RunSpec(config=preset_config("vct", scale=scale, routing=mech, seed=seed),
+                pattern="uniform", kind="transient",
+                loads=(scale.trans_load,),
+                warmup=4 * scale.warmup,  # cap for the auto warm-up
+                measure=scale.trans_measure,
+                packets_per_node=n, bucket=scale.trans_bucket,
+                seeds=replica_seeds(seed, seeds),
+                series=mech, coords=(("burst", n),))
+        for mech in VCT_MIX_MECHS
+        for n in bursts
+    ]
+    return _figure(specs, scale, "uniform+burst", VCT_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
+
+
 # ------------------------------------------------- thresholds (Figs 10 / 11)
 def _threshold_figure(scale, pattern: str, loads, thresholds, seed, workers,
                       seeds, cache) -> dict:

@@ -34,6 +34,14 @@ class Scale:
     burst_wh: int
     #: cap for drain experiments
     max_drain_cycles: int = 2_000_000
+    #: base offered load of the transient burst-response figure
+    trans_load: float = 0.3
+    #: burst sizes (packets/node) stepped onto the base load
+    trans_bursts: tuple[int, ...] = (5, 10, 20, 40)
+    #: post-step observation window in cycles
+    trans_measure: int = 6000
+    #: series bucket width (cycles) for transient figures
+    trans_bucket: int = 250
 
 
 SCALES: dict[str, Scale] = {
@@ -48,6 +56,7 @@ SCALES: dict[str, Scale] = {
         loads_uniform=(0.2, 0.5, 0.8),
         loads_adversarial=(0.1, 0.3, 0.5),
         burst_vct=20, burst_wh=3,
+        trans_bursts=(4, 12), trans_measure=2500,
     ),
     "small": Scale(
         name="small", h=3, warmup=4000, measure=4000,
@@ -61,6 +70,8 @@ SCALES: dict[str, Scale] = {
         loads_adversarial=(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4),
         burst_vct=1000, burst_wh=89,
         max_drain_cycles=50_000_000,
+        trans_bursts=(100, 250, 500, 1000), trans_measure=60_000,
+        trans_bucket=1000,
     ),
 }
 

@@ -61,6 +61,9 @@ _SPECS = [
                    "RLM threshold sweep, ADVG+1, VCT (Figs 11a/11b)"),
     ExperimentSpec("tab1", figures.table1, "allowed",
                    "Parity-sign hop combination table (Table I)"),
+    ExperimentSpec("trans1", figures.burst_response, "recovery_cycles",
+                   "Transient burst response: recovery time vs burst size "
+                   "(load step, VCT; §II congestion dynamics)"),
 ]
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {s.id: s for s in _SPECS}

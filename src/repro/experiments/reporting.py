@@ -53,7 +53,7 @@ def format_result(result: dict) -> str:
 
 
 def _x_key(point: dict) -> str:
-    for key in ("load", "global_pct", "first"):
+    for key in ("burst", "load", "global_pct", "first"):
         if key in point:
             return key
     return next(iter(point))

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from pathlib import Path
 
+from repro.experiments.reporting import _x_key
+
 #: line colours per series, recycled when more series than colours
 PALETTE = (
     "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e",
@@ -171,14 +173,16 @@ def chart_from_result(result: dict) -> LineChart:
         "mean_latency": "Average latency (cycles)",
         "throughput": "Accepted load (phits/(node*cycle))",
         "drain_cycles": "Burst consumption time (cycles)",
+        "recovery_cycles": "Recovery time after load step (cycles)",
     }
     first_series = next(iter(result["series"].values()))
-    x_key = "load" if first_series and "load" in first_series[0] else "global_pct"
+    x_key = _x_key(first_series[0]) if first_series else "load"
     xlabels = {"load": "Offered load (phits/(node*cycle))",
-               "global_pct": "Global traffic percentage (%)"}
+               "global_pct": "Global traffic percentage (%)",
+               "burst": "Burst size (packets/node)"}
     chart = LineChart(
         title=f"{result.get('id', '')}: {result.get('description', '')}",
-        xlabel=xlabels[x_key],
+        xlabel=xlabels.get(x_key, x_key),
         ylabel=ylabels.get(metric, metric),
     )
     for name, pts in result["series"].items():

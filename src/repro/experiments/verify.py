@@ -168,6 +168,40 @@ def check_threshold_advg(result) -> list[Claim]:
     ]
 
 
+def mean_recovery(points) -> float:
+    return sum(p["recovery_cycles"] for p in points) / len(points)
+
+
+def check_burst_response(result) -> list[Claim]:
+    series = result["series"]
+    rec = {m: mean_recovery(pts) for m, pts in series.items()}
+    adaptive = [m for m in ("par62", "olm", "rlm") if m in series]
+    grows = all(
+        pts[-1]["recovery_cycles"] >= pts[0]["recovery_cycles"]
+        for pts in series.values()
+    )
+    # aggregate_replicas drops "recovered" when seed replicas disagree,
+    # so a missing key means at least one replica failed to recover
+    recovered = all(p.get("recovered", False) for m in adaptive for p in series[m])
+    claims = [
+        Claim("Transient: every adaptive mechanism absorbs the load step "
+              "within the observation window",
+              recovered, _fmt_map(rec) + " (mean recovery cycles)"),
+        Claim("Transient: recovery time grows with the burst size "
+              "(larger backlog, longer drain)",
+              grows, _fmt_map(rec)),
+    ]
+    if "pb" in rec and adaptive:
+        best = min(rec[m] for m in adaptive)
+        claims.append(Claim(
+            "Transient: the best local-misrouting mechanism recovers no "
+            "slower than PB (§II: the escape/source-throttling designs "
+            "hold congestion longest)",
+            best <= 1.05 * rec["pb"],
+            _fmt_map(rec)))
+    return claims
+
+
 def check_table1(result) -> list[Claim]:
     rows = result["series"]["parity-sign"]
     allowed = sum(r["allowed"] for r in rows)
@@ -201,6 +235,10 @@ CHECKS = {
     "fig10": (check_threshold_uniform, "low thresholds win under UN"),
     "fig11": (check_threshold_advg, "high thresholds win under ADVG+1; 45% balanced"),
     "tab1": (check_table1, "Table I regenerated exactly"),
+    "trans1": (check_burst_response,
+               "not in the paper: §II's congestion dynamics as a time series "
+               "— a burst stepped onto steady load drains fastest under "
+               "local-misrouting mechanisms"),
 }
 
 
@@ -249,6 +287,18 @@ def render_experiments_md(results: dict[str, dict]) -> str:
         "path (2-3.5x on sparse scenarios, ~1.1-1.3x when saturated "
         "allocation dominates).",
         "",
+        "Observability is event-driven (PR 4): instrumentation taps on "
+        "the engine's event points (inject, grant/misroute, eject, "
+        "credit, ring-entry) feed a `MetricsHub` of counters and "
+        "cycle-bucketed series with JSONL export — free when detached, "
+        "invisible when attached (`tools/bench_engine.py --tap` pins "
+        "record equality).  Steady-state warm-up can be auto-detected "
+        "(`Session.warmup_until_steady()`, a moving-window relative-"
+        "precision rule), and the new `trans1` figure below is a "
+        "*transient* scenario: a per-node packet burst stepped onto "
+        "steady load, with `recovery_cycles` read off the bucketed "
+        "throughput series.",
+        "",
     ]
     passed = failed = 0
     for exp_id in sorted(CHECKS):
@@ -280,6 +330,10 @@ def _measured_summary(result: dict) -> str:
     first = next(iter(result["series"].values()))
     if not first:
         return ""
+    if "recovery_cycles" in first[0]:
+        rec = {m: mean_recovery(p) for m, p in result["series"].items()}
+        return ("Mean recovery cycles after the load step: "
+                + ", ".join(f"{k}={v:.0f}" for k, v in rec.items()))
     if "throughput" in first[0] and "load" in first[0]:
         sat = _sat_map(result)
         return "Saturation throughput: " + _fmt_map(sat)

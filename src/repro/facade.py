@@ -19,9 +19,10 @@ through ``session.sim`` for low-level work.
 from __future__ import annotations
 
 import math
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
-from repro.metrics.probes import LatencyProbe
+from repro.metrics.hub import LatencyTap, MetricsHub
+from repro.metrics.statistics import recovery_time, steady_state_reached
 from repro.network.config import SimConfig
 from repro.network.simulator import Simulator, build_simulator
 from repro.traffic.patterns import pattern_by_name
@@ -78,6 +79,31 @@ class RunResult:
         return asdict(self)
 
 
+@dataclass(frozen=True)
+class SeriesResult:
+    """A measurement window plus its cycle-bucketed time series.
+
+    ``result`` is the window's :class:`RunResult`; ``series`` maps
+    metric name to one value per ``bucket`` cycles (see
+    :meth:`repro.metrics.hub.MetricsHub.series`); ``records`` is the
+    structured meta/bucket/summary row stream of the JSONL schema.
+    """
+
+    result: RunResult
+    bucket: int
+    start_cycle: int
+    series: dict = field(compare=False)
+    records: tuple = field(compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "result": self.result.to_dict(),
+            "bucket": self.bucket,
+            "start_cycle": self.start_cycle,
+            "series": self.series,
+        }
+
+
 class Session:
     """A live simulation with the warm-up / measure / drain workflow.
 
@@ -103,7 +129,9 @@ class Session:
             if traffic is not None:
                 sim.traffic = traffic
         self._sim = sim
-        self._probe = LatencyProbe(sim)
+        self._probe = LatencyTap(sim)
+        #: metadata of the last :meth:`warmup_until_steady` call (or None)
+        self.auto_warmup: dict | None = None
 
     def close(self) -> None:
         """Detach the session's latency observer from the simulator.
@@ -150,6 +178,59 @@ class Session:
         self._sim.run(cycles)
         return self.reset()
 
+    def warmup_until_steady(self, *, bucket: int = 250, window: int = 8,
+                            rel_tolerance: float = 0.05,
+                            max_cycles: int = 50_000) -> "Session":
+        """Warm up until throughput is steady, then reset; chainable.
+
+        Replaces blind ``warmup(N)`` with the moving-window
+        relative-precision rule: the simulation advances in ``bucket``
+        -cycle blocks and stops as soon as the last ``window`` block
+        throughputs all lie within ``rel_tolerance`` of their own mean
+        (:func:`repro.metrics.statistics.steady_state_reached`), or
+        after ``max_cycles``.  Throughput is read from the block deltas
+        of the running counters — no per-cycle polling, so idle
+        fast-forward stays active throughout.
+
+        The detection outcome is exposed as ``session.auto_warmup``:
+        ``cycles`` spent, ``steady`` (whether the rule fired before the
+        cap), ``samples`` (block throughputs) and
+        ``steady_throughput`` (mean of the final window — the baseline
+        the transient workers measure recovery against).
+        """
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        sim = self._sim
+        stats = sim.stats
+        nodes = sim.topo.num_nodes
+        start = sim.now
+        samples: list[float] = []
+        last = stats.delivered_phits
+        steady = False
+        while sim.now - start < max_cycles:
+            step = min(bucket, start + max_cycles - sim.now)
+            sim.run(step)
+            if step < bucket:
+                break  # truncated final block: not a comparable sample
+            cur = stats.delivered_phits
+            samples.append((cur - last) / (nodes * bucket))
+            last = cur
+            if len(samples) >= window and steady_state_reached(
+                    samples, window=window, rel_tolerance=rel_tolerance):
+                steady = True
+                break
+        tail = samples[-window:] if samples else []
+        self.auto_warmup = {
+            "cycles": sim.now - start,
+            "steady": steady,
+            "bucket": bucket,
+            "window": window,
+            "rel_tolerance": rel_tolerance,
+            "samples": samples,
+            "steady_throughput": (sum(tail) / len(tail)) if tail else 0.0,
+        }
+        return self.reset()
+
     def reset(self) -> "Session":
         """Restart the measurement window at the current cycle; chainable."""
         self._sim.stats.reset(self._sim.now)
@@ -160,6 +241,36 @@ class Session:
         """Run ``cycles`` more cycles and snapshot the window."""
         self._sim.run(cycles)
         return self._snapshot("measure")
+
+    def measure_series(self, cycles: int, *, bucket: int = 250,
+                       latencies: bool = True) -> "SeriesResult":
+        """Run ``cycles`` cycles with a metrics hub attached: a transient
+        window.
+
+        Returns a :class:`SeriesResult` pairing the window
+        :class:`RunResult` with the hub's cycle-bucketed series and
+        structured records (JSONL-exportable).  The hub attaches for
+        exactly this call's cycles and detaches afterwards, so the
+        *series* covers only this call; the embedded ``RunResult`` —
+        exactly like :meth:`measure` — still spans the whole window
+        since the last :meth:`reset`/:meth:`warmup`, so call
+        :meth:`reset` between back-to-back series measurements when
+        each result should cover its own series.
+        """
+        sim = self._sim
+        hub = MetricsHub(sim, bucket=bucket, latencies=latencies)
+        try:
+            sim.run(cycles)
+            end = sim.now
+            return SeriesResult(
+                result=self._snapshot("measure"),
+                bucket=bucket,
+                start_cycle=hub.start_cycle,
+                series=hub.series(end),
+                records=tuple(hub.records(end)),
+            )
+        finally:
+            hub.detach()
 
     def drain(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until all injected traffic is delivered; snapshot with drain time."""
@@ -235,15 +346,26 @@ def point_record(result: RunResult, config: SimConfig, **coords) -> dict:
 
 
 def run_point(config: SimConfig, pattern_spec: str, load: float,
-              warmup: int, measure: int) -> dict:
+              warmup: int, measure: int, steady: bool = False) -> dict:
     """One steady-state record: warm up, reset stats, measure.
 
     Picklable worker entry — the unit of work of the run-plan executors
-    (:mod:`repro.runplan`).
+    (:mod:`repro.runplan`).  With ``steady=True`` the blind warm-up is
+    replaced by :meth:`Session.warmup_until_steady` with ``warmup`` as
+    the cycle cap; the record then carries ``warmup_cycles`` (spent)
+    and ``warmup_steady`` (whether the rule fired before the cap).
     """
-    result = (session(config, pattern=pattern_spec, load=load)
-              .warmup(warmup).measure(measure))
-    return point_record(result, config, pattern=pattern_spec, load=load)
+    s = session(config, pattern=pattern_spec, load=load)
+    if steady:
+        s.warmup_until_steady(max_cycles=warmup)
+    else:
+        s.warmup(warmup)
+    result = s.measure(measure)
+    rec = point_record(result, config, pattern=pattern_spec, load=load)
+    if steady:
+        rec["warmup_cycles"] = s.auto_warmup["cycles"]
+        rec["warmup_steady"] = s.auto_warmup["steady"]
+    return rec
 
 
 def run_drain(config: SimConfig, pattern_spec: str, packets_per_node: int,
@@ -260,5 +382,52 @@ def run_drain(config: SimConfig, pattern_spec: str, packets_per_node: int,
                         packets_per_node=packets_per_node)
 
 
-__all__ = ["Session", "RunResult", "session", "run_point", "run_drain",
-           "point_record"]
+def run_transient(config: SimConfig, pattern_spec: str, load: float,
+                  packets_per_node: int, warmup: int, measure: int,
+                  bucket: int = 250, rel_tolerance: float = 0.15,
+                  hold: int = 3) -> dict:
+    """One transient burst-response record: load step onto steady traffic.
+
+    Picklable worker entry for ``kind="transient"`` run-plan points —
+    the congestion story of the paper's §II told as a time series:
+
+    1. open-loop Bernoulli sources at ``load`` warm up to auto-detected
+       steady state (cap ``warmup`` cycles); the steady window mean is
+       the recovery baseline;
+    2. every node enqueues a ``packets_per_node`` burst on top (the
+       load step), drawn from the same traffic pattern;
+    3. a metrics hub records the next ``measure`` cycles in ``bucket``
+       -cycle buckets; ``recovery_cycles`` is when the throughput
+       series settles back within ``rel_tolerance`` of the baseline
+       for ``hold`` consecutive buckets
+       (:func:`repro.metrics.statistics.recovery_time`), clamped to
+       ``measure`` with ``recovered=False`` when it never does.
+    """
+    s = session(config, pattern=pattern_spec, load=load)
+    s.warmup_until_steady(bucket=bucket, max_cycles=warmup)
+    baseline = s.auto_warmup["steady_throughput"]
+    sim = s.sim
+    burst_pattern = pattern_by_name(pattern_spec, sim.topo)
+    BurstTraffic(burst_pattern, packets_per_node).inject(sim, sim.now)
+    sr = s.measure_series(measure, bucket=bucket, latencies=True)
+    recovery = recovery_time(sr.series["throughput"], baseline,
+                             bucket=bucket, rel_tolerance=rel_tolerance,
+                             hold=hold)
+    rec = point_record(sr.result, config, pattern=pattern_spec, load=load,
+                       packets_per_node=packets_per_node)
+    rec.update(
+        kind="transient",
+        bucket=bucket,
+        warmup_cycles=s.auto_warmup["cycles"],
+        warmup_steady=s.auto_warmup["steady"],
+        baseline_throughput=baseline,
+        recovered=recovery is not None,
+        recovery_cycles=measure if recovery is None else recovery,
+        throughput_series=sr.series["throughput"],
+        latency_series=sr.series["latency_mean"],
+    )
+    return rec
+
+
+__all__ = ["Session", "RunResult", "SeriesResult", "session", "run_point",
+           "run_drain", "run_transient", "point_record"]

@@ -1,18 +1,23 @@
-"""Measurement: steady-state collection, probes and statistical tooling."""
+"""Measurement: event-driven observability, steady state, statistics."""
 
 from repro.metrics.collector import StatsCollector
+from repro.metrics.hub import OBS_SCHEMA_VERSION, LatencyTap, MetricsHub
 from repro.metrics.probes import ThroughputProbe, injection_backlog, occupancy_snapshot
 from repro.metrics.statistics import (
     BatchMeansResult,
     batch_means,
     compare_series,
     mean_ci,
+    recovery_time,
     saturation_point,
     steady_state_reached,
 )
 
 __all__ = [
     "StatsCollector",
+    "MetricsHub",
+    "LatencyTap",
+    "OBS_SCHEMA_VERSION",
     "ThroughputProbe",
     "occupancy_snapshot",
     "injection_backlog",
@@ -20,6 +25,7 @@ __all__ = [
     "batch_means",
     "compare_series",
     "mean_ci",
+    "recovery_time",
     "saturation_point",
     "steady_state_reached",
 ]

@@ -1,0 +1,409 @@
+"""Event-driven metrics: taps multiplexed into counters and time series.
+
+:class:`MetricsHub` attaches to a live simulator through the engine tap
+interface (:mod:`repro.network.taps`) and turns the raw event stream —
+inject, grant, eject, credit, ring-entry — into
+
+* running totals (packets, phits, misroutes, ring hops, credits),
+* cycle-bucketed series: throughput, latency mean/percentiles,
+  per-port-kind/per-VC occupancy, local/global misroute rates and
+  escape-ring utilisation, and
+* structured records (one dict per bucket plus a summary) exportable
+  as deterministic JSONL under ``results/``.
+
+Nothing here polls the simulator: buckets are derived from event
+timestamps, so cycles skipped by the timing wheel's idle fast-forward
+simply show up as empty (zero) buckets.  A hub observes only — it
+never mutates simulator state or consumes RNG, so the simulated
+records are byte-identical with or without a hub attached
+(``tests/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.topology.base import PortKind
+
+#: bump when the bucket/summary record layout changes
+OBS_SCHEMA_VERSION = 1
+
+_KIND_NAMES = {int(PortKind.LOCAL): "local", int(PortKind.GLOBAL): "global"}
+
+_EJECT = PortKind.EJECT
+
+
+def _percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+class _Bucket:
+    """Per-interval accumulators (one per ``bucket`` cycles)."""
+
+    __slots__ = ("injected", "delivered", "delivered_phits", "latency_sum",
+                 "latency_max", "latencies", "grants", "local_misroutes",
+                 "global_misroutes", "ring_hops", "credit_phits", "occupancy")
+
+    def __init__(self, occupancy: dict) -> None:
+        self.injected = 0
+        self.delivered = 0
+        self.delivered_phits = 0
+        self.latency_sum = 0
+        self.latency_max = 0
+        self.latencies: list[int] = []
+        self.grants = 0
+        self.local_misroutes = 0
+        self.global_misroutes = 0
+        self.ring_hops = 0
+        self.credit_phits = 0
+        #: downstream occupancy in phits per (kind, vc) at bucket open
+        self.occupancy = occupancy
+
+
+class LatencyTap:
+    """Per-packet latency recorder on the eject tap.
+
+    The canonical replacement for the polling-era ``LatencyProbe``:
+    attaches through :meth:`Simulator.add_tap`, collects one latency
+    sample (bare int, delivery order) per ejected packet until
+    detached.  The Session facade uses it for its percentile fields.
+    Memory is O(packets delivered while attached); ``clear()`` after
+    warm-up to keep only the measurement window.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.latencies: list[int] = []
+        self._attached = True
+        sim.add_tap(self)
+
+    def on_eject(self, packet, now: int) -> None:
+        self.latencies.append(now - packet.birth)
+
+    def clear(self) -> None:
+        self.latencies.clear()
+
+    def detach(self) -> None:
+        """Stop observing (idempotent)."""
+        if self._attached:
+            self._attached = False
+            self.sim.remove_tap(self)
+
+
+class MetricsHub:
+    """Multiplexes the engine taps into counters and bucketed series.
+
+    ``bucket`` is the series resolution in cycles; ``latencies=False``
+    drops the per-bucket latency samples (and therefore the percentile
+    series) for long headless runs.  The window starts at the cycle the
+    hub is attached; :meth:`reset` restarts it.
+    """
+
+    def __init__(self, sim, bucket: int = 500, *, latencies: bool = True) -> None:
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        self.sim = sim
+        self.bucket = int(bucket)
+        self._keep_latencies = latencies
+        #: downstream occupancy in phits per (kind, vc), seeded from the
+        #: live credit state and tracked from grant/credit events after
+        #: that (physical state: survives ``reset``)
+        self._occ: dict[tuple[int, int], int] = {}
+        for router in sim.routers:
+            for out in router.outputs:
+                if out.kind is _EJECT:
+                    continue
+                k = int(out.kind)
+                for vc, credits in enumerate(out.credits):
+                    key = (k, vc)
+                    self._occ[key] = self._occ.get(key, 0) + (out.capacity - credits)
+        self._on_ring: set[int] = set()
+        self._attached = True
+        self._zero_window(sim.now)
+        sim.add_tap(self)
+
+    def _zero_window(self, now: int) -> None:
+        self.start_cycle = now
+        self._buckets: list[_Bucket] = []
+        self.injected = 0
+        self.delivered = 0
+        self.delivered_phits = 0
+        self.grants = 0
+        self.local_misroutes = 0
+        self.global_misroutes = 0
+        self.ring_hops = 0
+        self.ring_entries = 0
+        self.credit_phits = 0
+
+    # ------------------------------------------------------------ tap events
+    def _bucket_at(self, cycle: int) -> _Bucket:
+        idx = (cycle - self.start_cycle) // self.bucket
+        buckets = self._buckets
+        if idx < len(buckets):
+            return buckets[idx]
+        # open every bucket up to idx (fast-forward gaps stay empty but
+        # still snapshot the — unchanged — occupancy at their open)
+        occ = self._occ
+        while len(buckets) <= idx:
+            buckets.append(_Bucket(dict(occ)))
+        return buckets[idx]
+
+    def on_inject(self, packet, cycle: int) -> None:
+        self.injected += 1
+        self._bucket_at(cycle).injected += 1
+
+    def _refresh_future_snapshots(self, cycle: int) -> None:
+        """Re-snapshot buckets opened ahead of ``cycle``.
+
+        Eject events are stamped at tail-ejection *completion*
+        (``t + size``), so a delivery near a bucket boundary can open
+        the next bucket before the current cycle's remaining grants and
+        credits apply; those buckets' open cycle is still in the
+        future, so their occupancy-at-open must track every mutation
+        until it is reached.  The common case (no future bucket) costs
+        one index comparison.
+        """
+        idx = (cycle - self.start_cycle) // self.bucket
+        buckets = self._buckets
+        for j in range(idx + 1, len(buckets)):
+            buckets[j].occupancy = dict(self._occ)
+
+    def on_grant(self, router, out, vc: int, flit, decision, cycle: int) -> None:
+        self.grants += 1
+        b = self._bucket_at(cycle)
+        b.grants += 1
+        if out.kind is not _EJECT:
+            key = (int(out.kind), vc)
+            self._occ[key] = self._occ.get(key, 0) + flit.size
+            self._refresh_future_snapshots(cycle)
+        if decision is not None:
+            if decision.is_local_misroute:
+                self.local_misroutes += 1
+                b.local_misroutes += 1
+            if decision.valiant_group is not None:
+                self.global_misroutes += 1
+                b.global_misroutes += 1
+
+    def on_eject(self, packet, cycle: int) -> None:
+        self.delivered += 1
+        self.delivered_phits += packet.size_phits
+        b = self._bucket_at(cycle)
+        b.delivered += 1
+        b.delivered_phits += packet.size_phits
+        latency = cycle - packet.birth
+        b.latency_sum += latency
+        if latency > b.latency_max:
+            b.latency_max = latency
+        if self._keep_latencies:
+            b.latencies.append(latency)
+        self._on_ring.discard(packet.pid)
+
+    def on_credit(self, out, vc: int, amount: int, cycle: int) -> None:
+        self.credit_phits += amount
+        self._bucket_at(cycle).credit_phits += amount
+        key = (int(out.kind), vc)
+        self._occ[key] = self._occ.get(key, 0) - amount
+        self._refresh_future_snapshots(cycle)
+
+    def on_ring_entry(self, router, out, vc: int, flit, cycle: int) -> None:
+        self.ring_hops += 1
+        self._bucket_at(cycle).ring_hops += 1
+        pid = flit.packet.pid
+        if pid not in self._on_ring:
+            self._on_ring.add(pid)
+            self.ring_entries += 1
+
+    # ------------------------------------------------------------- lifecycle
+    def reset(self, now: int | None = None) -> None:
+        """Restart the measurement window (counters and series) at ``now``."""
+        self._zero_window(self.sim.now if now is None else now)
+
+    def detach(self) -> None:
+        """Stop observing (idempotent); collected data stays readable."""
+        if self._attached:
+            self._attached = False
+            self.sim.remove_tap(self)
+
+    # --------------------------------------------------------------- readout
+    def completed_buckets(self, end: int | None = None) -> list[_Bucket]:
+        """The buckets fully covered by ``[start_cycle, end)``.
+
+        ``end`` defaults to the simulator's current cycle; trailing
+        event-free (fast-forwarded) intervals materialise as empty
+        buckets so series lengths always equal elapsed-time / bucket.
+        """
+        end = self.sim.now if end is None else end
+        n = (end - self.start_cycle) // self.bucket
+        if n > 0:
+            self._bucket_at(self.start_cycle + (n - 1) * self.bucket)
+        return self._buckets[:max(0, n)]
+
+    def throughput_series(self, end: int | None = None) -> list[float]:
+        """Accepted load in phits/(node·cycle) per completed bucket."""
+        denom = self.sim.topo.num_nodes * self.bucket
+        return [b.delivered_phits / denom for b in self.completed_buckets(end)]
+
+    def latency_series(self, end: int | None = None) -> list[float]:
+        """Mean delivery latency per completed bucket (NaN when empty)."""
+        return [b.latency_sum / b.delivered if b.delivered else math.nan
+                for b in self.completed_buckets(end)]
+
+    def occupancy_series(self, kind: PortKind, end: int | None = None) -> list[int]:
+        """Total downstream occupancy (phits) of ``kind`` ports per bucket.
+
+        Sampled at each bucket's open — an event-derived level, not a
+        per-cycle average, so it costs nothing between events.
+        """
+        k = int(kind)
+        return [sum(v for (kk, _), v in b.occupancy.items() if kk == k)
+                for b in self.completed_buckets(end)]
+
+    def series(self, end: int | None = None) -> dict:
+        """Every bucketed series as plain lists (JSON-safe)."""
+        buckets = self.completed_buckets(end)
+        nodes = self.sim.topo.num_nodes
+        denom = nodes * self.bucket
+        out = {
+            "cycle": [self.start_cycle + i * self.bucket
+                      for i in range(len(buckets))],
+            "injected": [b.injected for b in buckets],
+            "delivered": [b.delivered for b in buckets],
+            "throughput": [b.delivered_phits / denom for b in buckets],
+            "latency_mean": [b.latency_sum / b.delivered if b.delivered
+                             else math.nan for b in buckets],
+            "latency_max": [b.latency_max for b in buckets],
+            "local_misroute_rate": [b.local_misroutes / b.delivered
+                                    if b.delivered else math.nan
+                                    for b in buckets],
+            "global_misroute_fraction": [b.global_misroutes / b.delivered
+                                         if b.delivered else math.nan
+                                         for b in buckets],
+            "ring_utilisation": [b.ring_hops / b.grants if b.grants else 0.0
+                                 for b in buckets],
+            "occupancy_local": self.occupancy_series(PortKind.LOCAL, end),
+            "occupancy_global": self.occupancy_series(PortKind.GLOBAL, end),
+        }
+        if self._keep_latencies:
+            p50, p95, p99 = [], [], []
+            for b in buckets:
+                lat = sorted(b.latencies)
+                p50.append(_percentile(lat, 0.50))
+                p95.append(_percentile(lat, 0.95))
+                p99.append(_percentile(lat, 0.99))
+            out["latency_p50"] = p50
+            out["latency_p95"] = p95
+            out["latency_p99"] = p99
+        return out
+
+    # --------------------------------------------------------------- records
+    def _occupancy_record(self, occ: dict) -> dict:
+        rec: dict = {}
+        for (kind, vc), phits in sorted(occ.items()):
+            rec.setdefault(_KIND_NAMES.get(kind, str(kind)), {})[str(vc)] = phits
+        return rec
+
+    def records(self, end: int | None = None, meta: dict | None = None) -> list[dict]:
+        """Structured record stream: meta header, one row per bucket, summary.
+
+        Every row carries ``schema``/``type``; bucket rows carry the
+        bucket's open cycle and all per-bucket metrics, the summary row
+        the window totals.  This is the JSONL interchange schema (see
+        README §Observability).
+        """
+        end = self.sim.now if end is None else end
+        buckets = self.completed_buckets(end)
+        nodes = self.sim.topo.num_nodes
+        denom = nodes * self.bucket
+        rows = [{
+            "schema": OBS_SCHEMA_VERSION,
+            "type": "meta",
+            "start_cycle": self.start_cycle,
+            "end_cycle": end,
+            "bucket": self.bucket,
+            "num_nodes": nodes,
+            **(meta or {}),
+        }]
+        for i, b in enumerate(buckets):
+            row = {
+                "schema": OBS_SCHEMA_VERSION,
+                "type": "bucket",
+                "index": i,
+                "cycle": self.start_cycle + i * self.bucket,
+                "injected": b.injected,
+                "delivered": b.delivered,
+                "delivered_phits": b.delivered_phits,
+                "throughput": b.delivered_phits / denom,
+                "latency_mean": (b.latency_sum / b.delivered
+                                 if b.delivered else None),
+                "latency_max": b.latency_max,
+                "grants": b.grants,
+                "local_misroutes": b.local_misroutes,
+                "global_misroutes": b.global_misroutes,
+                "ring_hops": b.ring_hops,
+                "credit_phits": b.credit_phits,
+                "occupancy": self._occupancy_record(b.occupancy),
+            }
+            if self._keep_latencies:
+                lat = sorted(b.latencies)
+                row["latency_p50"] = _percentile(lat, 0.50) if lat else None
+                row["latency_p95"] = _percentile(lat, 0.95) if lat else None
+                row["latency_p99"] = _percentile(lat, 0.99) if lat else None
+            rows.append(row)
+        rows.append({
+            "schema": OBS_SCHEMA_VERSION,
+            "type": "summary",
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "delivered_phits": self.delivered_phits,
+            "throughput": (self.delivered_phits / (nodes * (end - self.start_cycle))
+                           if end > self.start_cycle else 0.0),
+            "grants": self.grants,
+            "local_misroutes": self.local_misroutes,
+            "global_misroutes": self.global_misroutes,
+            "ring_hops": self.ring_hops,
+            "ring_entries": self.ring_entries,
+            "ring_utilisation": (self.ring_hops / self.grants
+                                 if self.grants else 0.0),
+            "credit_phits": self.credit_phits,
+        })
+        return rows
+
+    def write_jsonl(self, path, end: int | None = None,
+                    meta: dict | None = None) -> Path:
+        """Write the record stream as deterministic JSONL (one dict/line).
+
+        Records are canonically encoded (sorted keys, fixed separators,
+        NaN mapped to null), so identical runs produce byte-identical
+        files regardless of executor or platform.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [jsonl_line(row) for row in self.records(end, meta)]
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+
+def _strict(obj):
+    """NaN is not valid strict JSON: map it to null, recursively."""
+    if isinstance(obj, float) and math.isnan(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: _strict(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_strict(v) for v in obj]
+    return obj
+
+
+def jsonl_line(record: dict) -> str:
+    """One canonical JSONL line (sorted keys, strict JSON, no spaces)."""
+    return json.dumps(_strict(record), sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+__all__ = ["MetricsHub", "LatencyTap", "OBS_SCHEMA_VERSION", "jsonl_line"]

@@ -1,82 +1,76 @@
-"""Runtime probes: per-interval time series sampled from a live simulator.
+"""Deprecated probe names + polling-free state snapshots.
 
-Used to watch warm-up, detect steady state, and record buffer-occupancy
-profiles (e.g. the pathological local link of ADVG+h becoming the
-hotspot).
+The polling probes of the seed tree (`ThroughputProbe` sampled every
+cycle, which silently disabled the timing wheel's idle fast-forward)
+are kept as thin shims over the event-driven tap layer
+(:mod:`repro.metrics.hub`) and emit a :class:`DeprecationWarning`.
+New code attaches a :class:`~repro.metrics.hub.MetricsHub` (series,
+counters, JSONL) or a :class:`~repro.metrics.hub.LatencyTap` directly.
+
+`occupancy_snapshot` and `injection_backlog` are one-shot state reads
+(no per-cycle cost) and remain first-class.
 """
 
 from __future__ import annotations
 
-from repro.topology.dragonfly import PortKind
+import warnings
+
+from repro.metrics.hub import LatencyTap, MetricsHub
+from repro.topology.base import PortKind
 
 
 class ThroughputProbe:
-    """Samples delivered-phit deltas every ``interval`` cycles.
+    """Deprecated shim: interval throughput series over the event taps.
 
-    Call :meth:`sample` once per cycle (or drive it from a loop); the
-    ``series`` attribute holds phits/(node·cycle) per interval.
+    The historical polling API (``sample()`` once per cycle) is gone;
+    the shim wraps a :class:`~repro.metrics.hub.MetricsHub` whose
+    buckets are derived from delivery events, so an attached probe no
+    longer suppresses idle fast-forward (pinned in
+    ``tests/test_observability.py``).  ``series`` holds
+    phits/(node·cycle) per completed ``interval``.
+
+    Unlike the polling original (which only read ``sim.stats``), the
+    shim registers engine taps: call :meth:`detach` when done watching
+    a long-lived simulator, or the hub keeps observing — and buffering
+    buckets — for the simulator's whole life.
     """
 
     def __init__(self, sim, interval: int = 500) -> None:
+        warnings.warn(
+            "ThroughputProbe is deprecated; attach a repro.metrics.hub."
+            "MetricsHub (event-driven, fast-forward friendly) instead",
+            DeprecationWarning, stacklevel=2)
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.interval = interval
-        self.series: list[float] = []
-        self._last_phits = sim.stats.delivered_phits
-        self._next_sample = sim.now + interval
+        self._hub = MetricsHub(sim, bucket=interval, latencies=False)
+
+    @property
+    def series(self) -> list[float]:
+        return self._hub.throughput_series()
 
     def sample(self) -> None:
-        if self.sim.now < self._next_sample:
-            return
-        delta = self.sim.stats.delivered_phits - self._last_phits
-        self._last_phits = self.sim.stats.delivered_phits
-        self.series.append(delta / (self.sim.topo.num_nodes * self.interval))
-        self._next_sample += self.interval
+        """No-op (kept for API compatibility): buckets are event-driven."""
 
     def run(self, cycles: int) -> list[float]:
-        """Advance the simulation, sampling along the way."""
-        end = self.sim.now + cycles
-        while self.sim.now < end:
-            self.sim.step()
-            self.sample()
+        """Advance the simulation; the series accrues from delivery events."""
+        self.sim.run(cycles)
         return self.series
-
-
-class LatencyProbe:
-    """Per-packet latency recorder built on the delivery-observer hook.
-
-    Attaches to a simulator via ``sim.add_delivery_observer``; collects
-    one latency sample (bare int, delivery order) per ejected packet
-    until detached.  This is the probe the Session facade uses for its
-    percentile fields; standalone use::
-
-        probe = LatencyProbe(sim)
-        sim.run(5000)
-        print(max(probe.latencies))
-        probe.detach()
-
-    Memory is O(packets delivered while attached); ``clear()`` after
-    warm-up (the Session does) to keep only the measurement window.
-    """
-
-    def __init__(self, sim) -> None:
-        self.sim = sim
-        self.latencies: list[int] = []
-        self._attached = True
-        sim.add_delivery_observer(self._on_delivered)
-
-    def _on_delivered(self, packet, now: int) -> None:
-        self.latencies.append(now - packet.birth)
-
-    def clear(self) -> None:
-        self.latencies.clear()
 
     def detach(self) -> None:
         """Stop observing (idempotent)."""
-        if self._attached:
-            self._attached = False
-            self.sim.remove_delivery_observer(self._on_delivered)
+        self._hub.detach()
+
+
+class LatencyProbe(LatencyTap):
+    """Deprecated shim over :class:`~repro.metrics.hub.LatencyTap`."""
+
+    def __init__(self, sim) -> None:
+        warnings.warn(
+            "LatencyProbe is deprecated; use repro.metrics.hub.LatencyTap",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(sim)
 
 
 def occupancy_snapshot(sim) -> dict:

@@ -119,6 +119,30 @@ def compare_series(series_a, series_b) -> dict:
     }
 
 
+def recovery_time(series, baseline: float, *, bucket: int,
+                  rel_tolerance: float = 0.15, hold: int = 3) -> int | None:
+    """Cycles until a bucketed series settles back onto ``baseline``.
+
+    The transient burst-response metric: after a load step, the
+    throughput series first spikes above the steady baseline (the
+    network drains the backlog) and then returns to it.  Recovery is
+    the offset of the first bucket from which every one of ``hold``
+    consecutive buckets stays within ``rel_tolerance`` of ``baseline``
+    (absolute tolerance when the baseline is zero).  Returns ``None``
+    when the series never settles for ``hold`` buckets.
+    """
+    if hold < 1:
+        raise ValueError("hold must be >= 1")
+    tol = rel_tolerance * abs(baseline) if baseline else rel_tolerance
+    series = list(series)
+    run = 0
+    for i, v in enumerate(series):
+        run = run + 1 if abs(v - baseline) <= tol else 0
+        if run >= hold:
+            return (i - hold + 1) * bucket
+    return None
+
+
 def steady_state_reached(throughput_series, *, window: int = 5,
                          rel_tolerance: float = 0.1) -> bool:
     """Heuristic warm-up check: the last ``window`` samples are mutually

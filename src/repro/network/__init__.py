@@ -10,6 +10,7 @@ from repro.network.config import SimConfig
 from repro.network.flowcontrol import FlowControl, VirtualCutThrough, Wormhole, flow_control_by_name
 from repro.network.packet import Packet, Flit
 from repro.network.simulator import Simulator, DeadlockError, build_simulator
+from repro.network.taps import TAP_EVENTS, Tap
 from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY
 
 __all__ = [
@@ -29,4 +30,6 @@ __all__ = [
     "Simulator",
     "DeadlockError",
     "build_simulator",
+    "Tap",
+    "TAP_EVENTS",
 ]

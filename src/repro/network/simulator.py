@@ -110,6 +110,14 @@ class Simulator:
         #: registration order, legacy hook last (see :meth:`add_delivery_observer`)
         self._delivery_observers: list = []
         self._legacy_observer = None
+        # ---- instrumentation taps (repro.network.taps): ``None`` when no
+        # tap is registered for an event, so the hot path pays exactly one
+        # ``is None`` check per event site and nothing polls per cycle
+        self._tap_inject: tuple | None = None
+        self._tap_grant: tuple | None = None
+        self._tap_credit: tuple | None = None
+        self._tap_ring: tuple | None = None
+        self._is_escape = self.algo.is_escape_hop
         self.now = 0
         self.packets_in_flight = 0
         self._next_pid = 0
@@ -192,6 +200,52 @@ class Simulator:
             observers.append(fn)
         self._delivery_observers = observers
 
+    # ------------------------------------------------------------------ taps
+    def add_tap(self, tap):
+        """Attach an instrumentation tap (see :mod:`repro.network.taps`).
+
+        Every ``on_inject`` / ``on_grant`` / ``on_eject`` / ``on_credit``
+        / ``on_ring_entry`` method defined on ``tap`` is wired onto the
+        matching engine event point; at least one must be present.
+        ``on_eject`` joins the delivery-observer list (so it fires in
+        registration order, before the legacy ``on_packet_delivered``
+        hook, and before ``on_grant`` for the same delivering tail
+        flit).  Returns ``tap`` for chaining.
+        """
+        wired = False
+        for attr, fn in (("_tap_inject", getattr(tap, "on_inject", None)),
+                         ("_tap_grant", getattr(tap, "on_grant", None)),
+                         ("_tap_credit", getattr(tap, "on_credit", None)),
+                         ("_tap_ring", getattr(tap, "on_ring_entry", None))):
+            if fn is not None:
+                current = getattr(self, attr)
+                setattr(self, attr, (fn,) if current is None else (*current, fn))
+                wired = True
+        eject = getattr(tap, "on_eject", None)
+        if eject is not None:
+            self.add_delivery_observer(eject)
+            wired = True
+        if not wired:
+            raise TypeError(
+                f"{tap!r} defines none of the tap event methods "
+                "(on_inject/on_grant/on_eject/on_credit/on_ring_entry)")
+        return tap
+
+    def remove_tap(self, tap) -> None:
+        """Detach a previously added tap from every event point (idempotent)."""
+        for attr, fn in (("_tap_inject", getattr(tap, "on_inject", None)),
+                         ("_tap_grant", getattr(tap, "on_grant", None)),
+                         ("_tap_credit", getattr(tap, "on_credit", None)),
+                         ("_tap_ring", getattr(tap, "on_ring_entry", None))):
+            current = getattr(self, attr)
+            if fn is None or current is None or fn not in current:
+                continue
+            remaining = tuple(f for f in current if f != fn)
+            setattr(self, attr, remaining or None)
+        eject = getattr(tap, "on_eject", None)
+        if eject is not None and eject in self._delivery_observers:
+            self.remove_delivery_observer(eject)
+
     def _wire_credit_upstreams(self) -> None:
         """Point every input VC buffer at the output unit feeding it."""
         for router in self.routers:
@@ -229,6 +283,10 @@ class Simulator:
         self._active.add(sr)
         self.stats.on_generated(pkt)
         self.packets_in_flight += 1
+        taps = self._tap_inject
+        if taps is not None:
+            for tap in taps:
+                tap(pkt, t)
         return pkt
 
     # ------------------------------------------------------------ main loop
@@ -255,6 +313,11 @@ class Simulator:
         if bucket:
             for out, vc, amount in bucket:
                 out.credits[vc] += amount
+            ctaps = self._tap_credit
+            if ctaps is not None:
+                for out, vc, amount in bucket:
+                    for tap in ctaps:
+                        tap(out, vc, amount, t)
             self._pending_events -= len(bucket)
             bucket.clear()
             self._last_progress = t
@@ -501,6 +564,10 @@ class Simulator:
             vcb.route_vc = None
             if not is_eject:
                 out.owner[ovc] = None
+        if self._tap_ring is not None and dec is not None and \
+                self._is_escape(out.kind, ovc):
+            for tap in self._tap_ring:
+                tap(router, out, ovc, flit, t)
         if is_eject:
             if flit.is_tail:
                 done = busy
@@ -531,6 +598,10 @@ class Simulator:
             )
             self._pending_events += 1
         self._last_progress = t
+        gtaps = self._tap_grant
+        if gtaps is not None:
+            for tap in gtaps:
+                tap(router, out, ovc, flit, dec, t)
 
     # ------------------------------------------------------------ utilities
     def total_buffered_flits(self) -> int:

@@ -1,0 +1,59 @@
+"""Instrumentation taps: event hooks on the engine's existing event points.
+
+A *tap* is any object exposing one or more of the event methods below;
+:meth:`~repro.network.simulator.Simulator.add_tap` inspects the object
+and wires each implemented method straight onto the matching engine
+event point.  The design contract is **rich when attached, free when
+not**: with no tap registered the hot path pays a single ``is None``
+check per event site, and — crucially — nothing polls per cycle, so
+time-series collection composes with the timing wheel's idle
+fast-forward instead of disabling it (skipped cycles are provably
+event-free, hence observation-free).
+
+Event points (all cycle-stamped):
+
+``on_inject(packet, cycle)``
+    A packet was created and queued at its source injection FIFO.
+``on_grant(router, out, vc, flit, decision, cycle)``
+    A flit won switch allocation and started crossing ``out``.
+    ``decision`` is the routing :class:`~repro.core.base.Decision` for
+    head flits (carrying misroute flags) and ``None`` for body/tail
+    flits following their head.
+``on_eject(packet, cycle)``
+    A tail flit left the network (fires once per delivered packet, at
+    the same point as the delivery observers — before the legacy
+    ``on_packet_delivered`` hook).
+``on_credit(out, vc, amount, cycle)``
+    A credit returned to output unit ``out`` for downstream VC ``vc``.
+``on_ring_entry(router, out, vc, flit, cycle)``
+    A head flit was granted onto an escape-ring VC (OFAR's bubble
+    ring; see :meth:`~repro.core.base.RoutingAlgorithm.is_escape_hop`).
+    Fires for every escape-ring hop; consumers that want entries
+    rather than hops de-duplicate per packet (the
+    :class:`~repro.metrics.hub.MetricsHub` does).
+
+Taps observe only — they must not mutate simulator, router or packet
+state, and they consume no RNG, so an attached tap never perturbs the
+simulated records (enforced by ``tools/bench_engine.py --tap`` and the
+golden-with-tap test in ``tests/test_observability.py``).
+"""
+
+from __future__ import annotations
+
+#: the recognised tap event method names, in firing-site order
+TAP_EVENTS = ("on_inject", "on_grant", "on_eject", "on_credit", "on_ring_entry")
+
+
+class Tap:
+    """Optional convenience base class for taps.
+
+    Purely documentary — taps are duck-typed; :meth:`Simulator.add_tap`
+    only wires the ``on_*`` methods actually defined on the object, so
+    subclasses override exactly the events they care about.  Deriving
+    from this base is never required.
+    """
+
+    __slots__ = ()
+
+
+__all__ = ["Tap", "TAP_EVENTS"]

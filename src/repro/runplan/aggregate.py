@@ -18,6 +18,7 @@ from repro.metrics.statistics import mean_ci
 COORD_KEYS = frozenset({
     "kind", "routing", "pattern", "load", "flow_control", "h",
     "global_pct", "packets_per_node", "threshold", "series",
+    "burst", "bucket",
 })
 
 #: record keys never aggregated nor used for grouping

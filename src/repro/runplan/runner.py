@@ -10,7 +10,7 @@ aggregation handled behind the arguments.
 
 from __future__ import annotations
 
-from repro.facade import run_drain, run_point
+from repro.facade import run_drain, run_point, run_transient
 from repro.runplan.aggregate import aggregate_replicas
 from repro.runplan.cache import resolve_cache
 from repro.runplan.executors import resolve_executor
@@ -29,8 +29,13 @@ def execute_point(point: RunPoint) -> dict:
         return run_drain(point.config, point.pattern,
                          point.packets_per_node,
                          point.max_cycles or 1_000_000)
+    if point.kind == "transient":
+        return run_transient(point.config, point.pattern, point.load,
+                             point.packets_per_node,
+                             point.warmup, point.measure,
+                             bucket=point.bucket or 250)
     return run_point(point.config, point.pattern, point.load,
-                     point.warmup, point.measure)
+                     point.warmup, point.measure, steady=point.steady)
 
 
 def _labeled(point: RunPoint, record: dict) -> dict:

@@ -19,7 +19,8 @@ from repro.network.config import SimConfig
 
 #: bump when the record schema produced by the workers changes, so stale
 #: cache entries from an older layout are never replayed
-POINT_SCHEMA_VERSION = 1
+#: (v2: transient kind, auto-steady warm-up flag, series bucket width)
+POINT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -29,7 +30,11 @@ class RunPoint:
     ``kind`` selects the worker: ``"steady"`` runs the warm-up/measure
     workflow (needs ``load``/``warmup``/``measure``), ``"drain"`` runs a
     burst-consumption experiment (needs ``packets_per_node``/
-    ``max_cycles``).  ``series`` labels the curve the record belongs to
+    ``max_cycles``), ``"transient"`` runs the burst-response load step
+    (needs ``load`` + ``packets_per_node``; ``bucket`` sets the series
+    resolution).  ``steady=True`` replaces the blind warm-up of steady
+    points with the auto-detected steady-state rule (``warmup`` becomes
+    the cycle cap).  ``series`` labels the curve the record belongs to
     (e.g. the routing mechanism); ``coords`` are extra coordinate pairs
     merged verbatim into the record (e.g. ``(("global_pct", 40),)``).
     """
@@ -42,17 +47,19 @@ class RunPoint:
     measure: int = 0
     packets_per_node: int | None = None
     max_cycles: int | None = None
+    bucket: int | None = None
+    steady: bool = False
     series: str = ""
     coords: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("steady", "drain"):
+        if self.kind not in ("steady", "drain", "transient"):
             raise ValueError(f"unknown RunPoint kind {self.kind!r}; "
-                             "expected 'steady' or 'drain'")
-        if self.kind == "steady" and self.load is None:
-            raise ValueError("steady RunPoint needs an offered load")
-        if self.kind == "drain" and self.packets_per_node is None:
-            raise ValueError("drain RunPoint needs packets_per_node")
+                             "expected 'steady', 'drain' or 'transient'")
+        if self.kind in ("steady", "transient") and self.load is None:
+            raise ValueError(f"{self.kind} RunPoint needs an offered load")
+        if self.kind in ("drain", "transient") and self.packets_per_node is None:
+            raise ValueError(f"{self.kind} RunPoint needs packets_per_node")
 
     def describe(self) -> dict:
         """JSON-safe mapping of everything that determines the measurement.
@@ -71,6 +78,8 @@ class RunPoint:
             "measure": self.measure,
             "packets_per_node": self.packets_per_node,
             "max_cycles": self.max_cycles,
+            "bucket": self.bucket,
+            "steady": self.steady,
         }
 
     def key(self) -> str:
@@ -99,7 +108,11 @@ class RunSpec:
     each expands to its own point with ``config.with_(seed=s)``, so a
     multi-seed spec yields ``len(loads) * len(seeds)`` independent jobs.
     For ``kind="drain"`` specs, ``loads`` is ignored and one point per
-    seed is produced from ``packets_per_node``/``max_cycles``.
+    seed is produced from ``packets_per_node``/``max_cycles``; for
+    ``kind="transient"`` (burst-response load step) one point per
+    (load, seed) pair combines ``loads`` with ``packets_per_node`` /
+    ``bucket``.  ``steady=True`` switches steady points to the
+    auto-detected warm-up (``warmup`` = cycle cap).
     """
 
     config: SimConfig
@@ -111,6 +124,8 @@ class RunSpec:
     kind: str = "steady"
     packets_per_node: int | None = None
     max_cycles: int | None = None
+    bucket: int | None = None
+    steady: bool = False
     series: str = ""
     coords: tuple[tuple[str, object], ...] = field(default=())
 
@@ -126,10 +141,21 @@ class RunSpec:
                     packets_per_node=self.packets_per_node,
                     max_cycles=self.max_cycles,
                     series=self.series, coords=self.coords))
+            elif self.kind == "transient":
+                points.extend(
+                    RunPoint(config=cfg, pattern=self.pattern, kind="transient",
+                             load=load, warmup=self.warmup,
+                             measure=self.measure,
+                             packets_per_node=self.packets_per_node,
+                             bucket=self.bucket,
+                             series=self.series, coords=self.coords)
+                    for load in self.loads
+                )
             else:
                 points.extend(
                     RunPoint(config=cfg, pattern=self.pattern, load=load,
                              warmup=self.warmup, measure=self.measure,
+                             steady=self.steady,
                              series=self.series, coords=self.coords)
                     for load in self.loads
                 )

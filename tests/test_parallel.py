@@ -1,49 +1,66 @@
-"""Parallel sweep execution: identical results, any pool size."""
+"""Parallel sweep execution through the run-plan layer.
+
+Historic home of the ``repro.experiments.parallel`` compat tests; that
+shim is gone and the same guarantees are now pinned directly against
+:mod:`repro.runplan`: identical records under any pool size, result
+order preserved, and figure runners unchanged by ``workers``.
+"""
 
 import pytest
 
-from repro.experiments.parallel import (
-    default_workers,
-    parallel_load_sweep,
-    parallel_multi_sweep,
-    run_points,
-)
 from repro.experiments.sweeps import load_sweep
 from repro.network.config import paper_vct_config
+from repro.runplan import RunPoint, default_workers, execute_points, executor_for_jobs
 
 
 def test_default_workers_positive():
     assert default_workers() >= 1
 
 
+def test_executor_for_jobs_policy():
+    assert executor_for_jobs(None) == "serial"
+    assert executor_for_jobs(1) == "serial"
+    assert executor_for_jobs(4) == "process"
+
+
 def test_parallel_matches_serial():
     cfg = paper_vct_config(h=2, routing="minimal", seed=3)
     loads = (0.1, 0.3)
     serial = load_sweep(cfg, "uniform", loads, warmup=300, measure=300)
-    par = parallel_load_sweep(cfg, "uniform", loads, warmup=300, measure=300, workers=2)
+    par = load_sweep(cfg, "uniform", loads, warmup=300, measure=300,
+                     executor="process", jobs=2)
     assert par == serial
 
 
 def test_run_points_order_preserved():
     cfg = paper_vct_config(h=2, routing="minimal", seed=1)
-    tasks = [(cfg, "uniform", load, 200, 200) for load in (0.3, 0.1, 0.2)]
-    results = run_points(tasks, workers=3)
+    points = [RunPoint(config=cfg, pattern="uniform", load=load,
+                       warmup=200, measure=200)
+              for load in (0.3, 0.1, 0.2)]
+    results = execute_points(points, executor="process", jobs=3)
     assert [r["load"] for r in results] == [0.3, 0.1, 0.2]
 
 
-def test_run_points_serial_path():
+def test_single_point_short_circuits_the_pool():
     cfg = paper_vct_config(h=2, routing="minimal", seed=1)
-    results = run_points([(cfg, "uniform", 0.1, 200, 200)], workers=4)
-    assert len(results) == 1  # single task short-circuits the pool
+    point = RunPoint(config=cfg, pattern="uniform", load=0.1,
+                     warmup=200, measure=200)
+    results = execute_points([point], executor="process", jobs=4)
+    assert len(results) == 1
 
 
-def test_parallel_multi_sweep_series():
+def test_multi_series_over_one_pool():
     loads = (0.1, 0.2)
-    spec = [
-        (name, paper_vct_config(h=2, routing=name, seed=2), "advg+1")
+    points = [
+        RunPoint(config=paper_vct_config(h=2, routing=name, seed=2),
+                 pattern="advg+1", load=load, warmup=250, measure=250,
+                 series=name)
         for name in ("minimal", "valiant")
+        for load in loads
     ]
-    series = parallel_multi_sweep(spec, loads, warmup=250, measure=250, workers=2)
+    from repro.runplan import series_map
+
+    series = series_map(execute_points(points, executor="process", jobs=2))
     assert set(series) == {"minimal", "valiant"}
     for pts in series.values():
         assert [p["load"] for p in pts] == list(loads)

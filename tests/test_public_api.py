@@ -23,6 +23,7 @@ PUBLIC_MODULES = [
     "repro.network.ports",
     "repro.network.router",
     "repro.network.simulator",
+    "repro.network.taps",
     "repro.core",
     "repro.core.base",
     "repro.core.paritysign",
@@ -42,6 +43,7 @@ PUBLIC_MODULES = [
     "repro.metrics.collector",
     "repro.metrics.statistics",
     "repro.metrics.probes",
+    "repro.metrics.hub",
     "repro.runplan",
     "repro.runplan.spec",
     "repro.runplan.executors",
@@ -57,7 +59,6 @@ PUBLIC_MODULES = [
     "repro.experiments.figures",
     "repro.experiments.registry",
     "repro.experiments.reporting",
-    "repro.experiments.parallel",
     "repro.experiments.svgplot",
     "repro.experiments.cli",
 ]

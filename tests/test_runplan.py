@@ -105,6 +105,29 @@ def test_replica_seeds():
         replica_seeds(5, 0)
 
 
+def test_transient_spec_expands_loads_times_seeds():
+    spec = RunSpec(config=SimConfig(h=2, routing="olm"), pattern="uniform",
+                   kind="transient", loads=(0.3,), warmup=5000, measure=2000,
+                   packets_per_node=8, bucket=250, seeds=(1, 2),
+                   coords=(("burst", 8),))
+    points = spec.expand()
+    assert len(points) == 2
+    assert all(p.kind == "transient" and p.bucket == 250 and p.load == 0.3
+               for p in points)
+    with pytest.raises(ValueError, match="offered load"):
+        RunPoint(config=SimConfig(h=2), pattern="uniform", kind="transient",
+                 packets_per_node=8)
+    with pytest.raises(ValueError, match="packets_per_node"):
+        RunPoint(config=SimConfig(h=2), pattern="uniform", kind="transient",
+                 load=0.3)
+
+
+def test_steady_flag_is_part_of_the_cache_key():
+    base = tiny_spec(loads=(0.1,)).expand()[0]
+    auto = tiny_spec(loads=(0.1,), steady=True).expand()[0]
+    assert base.key() != auto.key()  # different warm-up rule, different record
+
+
 # ------------------------------------------------------------- determinism
 def test_serial_process_and_cache_replay_identical(tmp_path):
     """The satellite contract: serial == process == cache replay, byte-wise."""
@@ -117,6 +140,40 @@ def test_serial_process_and_cache_replay_identical(tmp_path):
     blobs = [[canonical_record_json(r) for r in records]
              for records in (serial, parallel, first, replay)]
     assert blobs[0] == blobs[1] == blobs[2] == blobs[3]
+
+
+def test_transient_series_identical_across_executors_and_cache(tmp_path):
+    """Observability determinism (satellite): the transient records —
+    including their embedded time series — are byte-identical under the
+    serial executor, the process pool and a cache replay."""
+    spec = RunSpec(config=paper_vct_config(h=2, routing="olm", seed=5),
+                   pattern="uniform", kind="transient", loads=(0.3,),
+                   warmup=8000, measure=2000, packets_per_node=6, bucket=250,
+                   seeds=(5, 6), series="olm")
+    serial = execute(spec, executor="serial", aggregate=False)
+    parallel = execute(spec, executor="process", jobs=2, aggregate=False)
+    cache_dir = tmp_path / "c"
+    first = execute(spec, cache=cache_dir, aggregate=False)
+    replay = execute(spec, cache=cache_dir, aggregate=False)
+    blobs = [[canonical_record_json(r) for r in records]
+             for records in (serial, parallel, first, replay)]
+    assert blobs[0] == blobs[1] == blobs[2] == blobs[3]
+    assert len(serial[0]["throughput_series"]) == 2000 // 250
+    # multi-seed aggregation: recovery_cycles gets mean ± CI, the
+    # per-seed series (seed-specific lists) are dropped from the merge
+    agg = execute(spec, cache=cache_dir)
+    assert len(agg) == 1
+    assert agg[0]["replicas"] == 2 and "recovery_cycles_ci" in agg[0]
+    assert "throughput_series" not in agg[0]
+
+
+def test_steady_points_identical_across_executors():
+    spec = tiny_spec(loads=(0.2, 0.4), steady=True)
+    serial = execute(spec, executor="serial", aggregate=False)
+    parallel = execute(spec, executor="process", jobs=2, aggregate=False)
+    assert ([canonical_record_json(r) for r in serial]
+            == [canonical_record_json(r) for r in parallel])
+    assert all("warmup_cycles" in r and "warmup_steady" in r for r in serial)
 
 
 def test_cache_replay_skips_execution(tmp_path):

@@ -201,7 +201,8 @@ def test_latency_probe_observer():
 
     sim = repro.build_simulator(SimConfig(h=2, routing="minimal", seed=4),
                                 BernoulliTraffic(UniformRandom(), 0.2))
-    probe = LatencyProbe(sim)
+    with pytest.warns(DeprecationWarning):
+        probe = LatencyProbe(sim)
     sim.run(500)
     assert len(probe.latencies) == sim.stats.delivered > 0
     assert max(probe.latencies) == sim.stats.latency_max

@@ -1,4 +1,4 @@
-"""Batch means, saturation detection and runtime probes."""
+"""Batch means, saturation/recovery detection and state snapshots."""
 
 import math
 import random
@@ -90,13 +90,14 @@ def test_steady_state_reached():
 def test_throughput_probe_converges():
     sim = build_sim("minimal", record_hops=False)
     sim.traffic = BernoulliTraffic(UniformRandom(), 0.4)
-    probe = ThroughputProbe(sim, interval=400)
+    with pytest.warns(DeprecationWarning):
+        probe = ThroughputProbe(sim, interval=400)
     series = probe.run(4800)
     assert len(series) == 12
     # after warm-up the interval throughput approaches the offered load
     assert series[-1] == pytest.approx(0.4, rel=0.3)
     assert steady_state_reached(series, window=4, rel_tolerance=0.3)
-    with pytest.raises(ValueError):
+    with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
         ThroughputProbe(sim, interval=0)
 
 

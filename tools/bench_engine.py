@@ -110,11 +110,20 @@ def scenarios(smoke: bool) -> list[dict]:
     ]
 
 
-def run_scenario(sc: dict, sim_cls) -> tuple[float, int, str]:
-    """(wall seconds, cycles simulated, canonical record) for one engine."""
+def run_scenario(sc: dict, sim_cls, with_tap: bool = False) -> tuple[float, int, str]:
+    """(wall seconds, cycles simulated, canonical record) for one engine.
+
+    ``with_tap`` attaches a full MetricsHub (every event point wired)
+    before the run — the instrumentation-overhead gate: the emitted
+    record must stay byte-identical to the untapped reference engine.
+    """
     cfg = SimConfig(**sc["cfg"])
     session = Session(sim=sim_cls(cfg))
     sim = session.sim
+    if with_tap:
+        from repro.metrics.hub import MetricsHub
+
+        MetricsHub(sim, bucket=500)
     kind = sc["kind"]
     if kind == "point":
         session.bernoulli(sc["pattern"], sc["load"])
@@ -158,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
                          "unless --out is given (the CI equivalence gate)")
     ap.add_argument("--repeat", type=int, default=3,
                     help="timing repetitions per scenario (best-of, default 3)")
+    ap.add_argument("--tap", action="store_true",
+                    help="attach a MetricsHub to the timing-wheel engine: "
+                         "records must stay byte-identical to the untapped "
+                         "seed engine (the instrumentation-overhead gate)")
     ap.add_argument("--out", default=None,
                     help="report path (default BENCH_engine.json; smoke: none)")
     args = ap.parse_args(argv)
@@ -170,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
         for _ in range(repeat):
             s, cycles, ref_rec = run_scenario(sc, ReferenceSimulator)
             ref_s = min(ref_s, s)
-            s, cycles, wheel_rec = run_scenario(sc, Simulator)
+            s, cycles, wheel_rec = run_scenario(sc, Simulator, with_tap=args.tap)
             wheel_s = min(wheel_s, s)
         identical = ref_rec == wheel_rec
         if not identical:
@@ -195,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "bench": "engine-hot-path",
         "mode": "smoke" if args.smoke else "full",
+        "tap_attached": args.tap,
         "repeat": repeat,
         "cpu_count": os.cpu_count(),
         "scenarios": rows,
