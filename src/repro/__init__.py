@@ -28,6 +28,11 @@ resolved through one registry API::
 Routing mechanisms: ``minimal``, ``valiant``, ``pb`` (Piggybacking),
 ``par62`` (naïve PAR-6/2), ``rlm`` (Restricted Local Misrouting),
 ``olm`` (Opportunistic Local Misrouting) and the ``ofar`` baseline.
+Topologies: ``dragonfly`` (the paper's), ``flattened_butterfly``
+(1-D), ``torus`` (2-D) — minimal/Valiant/OFAR run on all three via the
+fabric's routing oracle; Dragonfly-only mechanisms raise
+:class:`~repro.topology.base.UnsupportedTopologyError` elsewhere (see
+``docs/ARCHITECTURE.md`` and ``docs/ADDING_A_TOPOLOGY.md``).
 
 The lower-level surface (``build_simulator``, ``sim.stats``,
 ``sim.add_delivery_observer``) remains available for custom loops.
@@ -40,7 +45,14 @@ from repro.network import (
     Simulator,
     build_simulator,
 )
-from repro.topology import Dragonfly, Topology, validate_topology
+from repro.topology import (
+    Dragonfly,
+    FlattenedButterfly,
+    Topology,
+    Torus2D,
+    UnsupportedTopologyError,
+    validate_topology,
+)
 from repro.traffic import PATTERN_REGISTRY, PROCESS_REGISTRY
 from repro.registry import (
     ARBITER_REGISTRY,
@@ -114,6 +126,9 @@ __all__ = [
     # topology
     "Topology",
     "Dragonfly",
+    "FlattenedButterfly",
+    "Torus2D",
+    "UnsupportedTopologyError",
     "validate_topology",
     # routing helpers
     "routing_by_name",

@@ -17,7 +17,14 @@ from typing import TYPE_CHECKING
 
 from repro.core.paritysign import link_type
 from repro.core.trigger import MisroutingTrigger
-from repro.topology.base import PortKind, Topology
+from repro.topology.base import (
+    CAP_GROUP_EXITS,
+    CAP_LOCAL_COMPLETE,
+    DRAGONFLY_CAPS,
+    PortKind,
+    Topology,
+    UnsupportedTopologyError,
+)
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.network
     from repro.network.packet import Packet
@@ -46,7 +53,15 @@ class Decision:
 
 
 class RoutingAlgorithm(abc.ABC):
-    """Base class for Dragonfly routing mechanisms."""
+    """Base class for routing mechanisms.
+
+    Baseline mechanisms (minimal, Valiant) are fabric-agnostic: they
+    route through the topology's ``min_hop`` oracle.  Mechanisms that
+    need structure beyond the oracle declare it in ``required_caps``
+    (capability flags from :mod:`repro.topology.base`); construction
+    raises :class:`~repro.topology.base.UnsupportedTopologyError` with
+    an actionable message when the fabric lacks one.
+    """
 
     name: str = "abstract"
     #: VCs the mechanism needs per local port (3 for all but PAR-6/2's 6)
@@ -55,12 +70,25 @@ class RoutingAlgorithm(abc.ABC):
     global_vcs = 2
     #: True when the mechanism relies on whole-packet reservation (OLM)
     requires_vct = False
+    #: capability flags the fabric must provide (checked at construction)
+    required_caps: frozenset = frozenset()
 
     def __init__(self, topo: Topology, config, trigger: MisroutingTrigger, rng) -> None:
         self.topo = topo
         self.config = config
         self.trigger = trigger
         self.rng = rng
+        # fabrics predating the capability flags were Dragonfly-shaped
+        self.topo_caps: frozenset = getattr(topo, "caps", DRAGONFLY_CAPS)
+        missing = self.required_caps - self.topo_caps
+        if missing:
+            raise UnsupportedTopologyError(
+                f"routing {self.name!r} requires the "
+                f"{', '.join(sorted(repr(c) for c in missing))} "
+                f"capability of topology {config.topology!r}, which it "
+                "does not provide; fabric-agnostic mechanisms here are "
+                "'minimal', 'valiant' and 'ofar'"
+            )
 
     # ------------------------------------------------------------------ API
     @abc.abstractmethod
@@ -117,52 +145,52 @@ class RoutingAlgorithm(abc.ABC):
             return packet.valiant_group
         return packet.dst_group
 
+    def minimal_hop(self, router, packet: Packet):
+        """The fabric's minimal hop here: ``(out_idx, kind, target, vc)``.
+
+        Thin adapter over the topology's
+        :meth:`~repro.topology.base.Topology.min_hop` oracle — the
+        fabric decides the path shape *and* the deadlock-free VC;
+        this method only maps the protocol-level port index onto the
+        router's output index.  ``target`` is the index-in-group of
+        the next router for LOCAL hops, the node index for EJECT, and
+        the global port for GLOBAL hops.
+        """
+        kind, port, target, vc = self.topo.min_hop(router.rid, packet)
+        if kind is PortKind.EJECT:
+            return router.out_eject(port), kind, target, vc
+        if kind is PortKind.LOCAL:
+            return router.out_local(port), kind, target, vc
+        return router.out_global(port), kind, target, vc
+
     def minimal_next(self, router, packet: Packet):
         """The minimal hop at this router: ``(out_idx, kind, target)``.
 
-        ``kind`` is a :class:`PortKind`; ``target`` is the
-        index-in-group of the next router for LOCAL hops, the node
-        index for EJECT, and the global port for GLOBAL hops.
+        Like :meth:`minimal_hop` but without the oracle's VC — the
+        adaptive mechanisms apply their own paper VC disciplines to
+        the minimal output.
         """
-        topo = self.topo
-        cur_group = router.group
-        tgt_group = self.target_group(packet, cur_group)
-        if cur_group == tgt_group:
-            dst_idx = topo.index_in_group(packet.dst_router)
-            if router.idx == dst_idx:
-                k = topo.node_index(packet.dst)
-                return router.out_eject(k), PortKind.EJECT, k
-            return (
-                router.out_local(topo.local_port_to(router.idx, dst_idx)),
-                PortKind.LOCAL,
-                dst_idx,
-            )
-        exit_idx, gport = topo.exit_port(cur_group, tgt_group)
-        if router.idx == exit_idx:
-            return router.out_global(gport), PortKind.GLOBAL, gport
-        return (
-            router.out_local(topo.local_port_to(router.idx, exit_idx)),
-            PortKind.LOCAL,
-            exit_idx,
-        )
+        return self.minimal_hop(router, packet)[:3]
 
-    # --- VC discipline shared by MIN / Valiant / PB / RLM minimal hops ----
+    # --- Dragonfly VC discipline shared by PB / RLM minimal hops ---------
     def vc_minimal(self, packet: Packet, kind: PortKind) -> int:
-        """Ascending 3/2 VC map: hop after ``g`` global hops uses VC ``g``."""
+        """Ascending 3/2 VC map: hop after ``g`` global hops uses VC ``g``.
+
+        The paper's Dragonfly discipline; fabric-agnostic mechanisms
+        take the VC from :meth:`minimal_hop` (the oracle) instead.
+        """
         if kind == PortKind.EJECT:
             return 0
         return packet.g_hops  # 0-based: lVC1/gVC1 == 0
 
-    def pick_valiant_group(self, packet: Packet, exclude_dst: bool = True) -> int:
-        """Random intermediate group != source (and destination) group."""
-        g = self.topo.num_groups
-        while True:
-            cand = self.rng.randrange(g)
-            if cand == packet.src_group:
-                continue
-            if exclude_dst and cand == packet.dst_group:
-                continue
-            return cand
+    def pick_valiant_group(self, packet: Packet) -> int:
+        """Random Valiant intermediate token, excluding source and
+        destination (used by PB's injection-time choice).
+
+        Delegates to ``Topology.pick_via`` so the draw — and the RNG
+        stream it consumes — has exactly one implementation per fabric.
+        """
+        return self.topo.pick_via(self.rng, packet)
 
 
 class AdaptiveRouting(RoutingAlgorithm):
@@ -230,6 +258,8 @@ class AdaptiveRouting(RoutingAlgorithm):
     # ---- global misrouting (source group only) ----------------------------
     def _try_global_misroute(self, router, packet: Packet, now: int, flit,
                              min_occ: int) -> Decision | None:
+        if CAP_GROUP_EXITS not in self.topo_caps:
+            return None  # no one-link-per-group-pair structure to divert over
         topo = self.topo
         rng = self.rng
         num_groups = topo.num_groups
@@ -271,6 +301,8 @@ class AdaptiveRouting(RoutingAlgorithm):
 
     def _try_local_misroute(self, router, packet: Packet, now: int, flit,
                             min_occ: int, minimal_target: int) -> Decision | None:
+        if CAP_LOCAL_COMPLETE not in self.topo_caps:
+            return None  # the local network is not a complete graph
         if not self._local_misroute_permitted(packet):
             return None
         vc = self.vc_local_misroute(packet)

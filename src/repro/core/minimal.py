@@ -1,8 +1,12 @@
-"""Minimal routing: always the shortest path (at most l-g-l).
+"""Minimal routing: always the shortest path.
 
-VC usage ascends with the global-hop count (``lVC1-gVC1-lVC2``), which
-is Günther-style deadlock freedom for 3-hop paths; the baseline of the
-paper's uniform-traffic comparison.
+Fabric-agnostic: the hop (and its virtual channel) comes from the
+topology's ``min_hop`` oracle, so the same mechanism runs on the
+Dragonfly (at most ``l-g-l``, VC ascending with the global-hop count —
+Günther-style deadlock freedom for 3-hop paths), the flattened
+butterfly (one hop) and the torus (dimension-ordered X-then-Y with
+date-line VCs).  The baseline of the paper's uniform-traffic
+comparison.
 """
 
 from __future__ import annotations
@@ -21,8 +25,7 @@ class MinimalRouting(RoutingAlgorithm):
     global_vcs = 2
 
     def decide(self, router, packet, now, flit):
-        out, kind, target = self.minimal_next(router, packet)
-        vc = self.vc_minimal(packet, kind)
+        out, kind, target, vc = self.minimal_hop(router, packet)
         if not router.can_accept(out, vc, flit, now):
             return None
         if kind == PortKind.LOCAL:

@@ -20,6 +20,7 @@ of a Valiant path.
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
+from repro.topology.base import CAP_DRAGONFLY_PATHS
 from repro.registry import ROUTING_REGISTRY
 
 
@@ -30,6 +31,7 @@ class OlmRouting(AdaptiveRouting):
     name = "olm"
     local_vcs = 3
     global_vcs = 2
+    required_caps = frozenset({CAP_DRAGONFLY_PATHS})
     requires_vct = True
 
     def vc_local_minimal(self, packet) -> int:

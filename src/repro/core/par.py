@@ -11,6 +11,7 @@ buffer cost — the paper uses it as an upper reference only.
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
+from repro.topology.base import CAP_DRAGONFLY_PATHS
 from repro.registry import ROUTING_REGISTRY
 
 
@@ -21,6 +22,7 @@ class Par62Routing(AdaptiveRouting):
     name = "par62"
     local_vcs = 6
     global_vcs = 2
+    required_caps = frozenset({CAP_DRAGONFLY_PATHS})
 
     def vc_local_minimal(self, packet) -> int:
         return packet.local_hops_total  # strictly ascending local VC chain

@@ -19,7 +19,7 @@ ADVL traffic in Figure 6a.
 from __future__ import annotations
 
 from repro.core.base import Decision, RoutingAlgorithm
-from repro.topology.base import PortKind
+from repro.topology.base import CAP_DRAGONFLY_PATHS, PortKind
 from repro.registry import ROUTING_REGISTRY
 
 
@@ -30,6 +30,7 @@ class PiggybackingRouting(RoutingAlgorithm):
     name = "pb"
     local_vcs = 3
     global_vcs = 2
+    required_caps = frozenset({CAP_DRAGONFLY_PATHS})
 
     def __init__(self, topo, config, trigger, rng) -> None:
         super().__init__(topo, config, trigger, rng)

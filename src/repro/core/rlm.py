@@ -10,6 +10,7 @@ cycle can form at all, RLM is safe under Wormhole as well as VCT.
 from __future__ import annotations
 
 from repro.core.base import AdaptiveRouting
+from repro.topology.base import CAP_DRAGONFLY_PATHS
 from repro.core.paritysign import hop_pair_allowed, link_type, pair_allowed
 from repro.registry import ROUTING_REGISTRY
 
@@ -21,6 +22,7 @@ class RlmRouting(AdaptiveRouting):
     name = "rlm"
     local_vcs = 3
     global_vcs = 2
+    required_caps = frozenset({CAP_DRAGONFLY_PATHS})
 
     def vc_local_minimal(self, packet) -> int:
         return packet.g_hops

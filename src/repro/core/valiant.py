@@ -1,9 +1,13 @@
-"""Valiant randomized routing: obligatory global misrouting.
+"""Valiant randomized routing: obligatory misrouting via an intermediate.
 
-Every packet travels minimally to a random intermediate supernode
-(neither source nor destination), then minimally to its destination —
-paths up to ``l-g-l-g-l``, VCs ``lVC1-gVC1-lVC2-gVC2-lVC3``.  The
-baseline for adversarial-global traffic.
+Every packet travels minimally to a random intermediate (neither
+source nor destination), then minimally to its destination.  The
+intermediate token is fabric-defined (``Topology.pick_via``): a
+*supernode* on the Dragonfly — paths up to ``l-g-l-g-l``, VCs
+``lVC1-gVC1-lVC2-gVC2-lVC3`` — and a *router* on the flattened
+butterfly and the torus, where the oracle's VC discipline (ascending
+per hop / date-line per phase) keeps the doubled path deadlock-free.
+The baseline for adversarial-global traffic.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from repro.registry import ROUTING_REGISTRY
 
 @ROUTING_REGISTRY.register("valiant", description="VAL: obliviously randomized Valiant routing (baseline)")
 class ValiantRouting(RoutingAlgorithm):
-    """Valiant: random intermediate group for every packet."""
+    """Valiant: random intermediate for every packet."""
 
     name = "valiant"
     local_vcs = 3
@@ -24,27 +28,25 @@ class ValiantRouting(RoutingAlgorithm):
     def decide(self, router, packet, now, flit):
         if (
             packet.valiant_group is None
-            and packet.g_hops == 0
+            and router.rid == packet.src_router
             and packet.dst_router != packet.src_router
         ):
             # re-rolled each blocked cycle until the first hop is granted;
             # committed via Decision.valiant_group on the grant
-            tg = self.pick_valiant_group(packet)
+            tg = self.topo.pick_via(self.rng, packet)
             saved = packet.valiant_group
             packet.valiant_group = tg
             try:
-                out, kind, target = self.minimal_next(router, packet)
+                out, kind, target, vc = self.minimal_hop(router, packet)
             finally:
                 packet.valiant_group = saved
-            vc = self.vc_minimal(packet, kind)
             if not router.can_accept(out, vc, flit, now):
                 return None
             return Decision(
                 out, vc, valiant_group=tg,
                 local_target=target if kind == PortKind.LOCAL else None,
             )
-        out, kind, target = self.minimal_next(router, packet)
-        vc = self.vc_minimal(packet, kind)
+        out, kind, target, vc = self.minimal_hop(router, packet)
         if not router.can_accept(out, vc, flit, now):
             return None
         if kind == PortKind.LOCAL:

@@ -95,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SimConfig JSON file; overrides --preset/--routing")
     sweep.add_argument("--preset", default="vct", choices=("vct", "wh"),
                        help="paper flow-control preset (default vct)")
+    sweep.add_argument("--topology", default=None,
+                       help="fabric (dragonfly default | flattened_butterfly "
+                            "| torus | any registered topology), sized to "
+                            "the scale's node count like the xtopo1 figure; "
+                            "incompatible with --config")
     sweep.add_argument("--routing", default="olm",
                        help="routing mechanism (see list-components)")
     sweep.add_argument("--pattern", default="uniform",
@@ -200,18 +205,25 @@ def _run_point(args) -> None:
 
 
 def _run_sweep(args) -> None:
-    from repro.experiments.presets import get_scale, preset_config
+    from repro.experiments.presets import cross_topology_config, get_scale
     from repro.network.config import SimConfig
     from repro.runplan import RunSpec, execute, executor_for_jobs, replica_seeds
 
     scale = get_scale(args.scale)
     if args.config:
+        if args.topology is not None:
+            raise ValueError(
+                "--config carries its own topology; pass one of "
+                "--config/--topology, not both"
+            )
         config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
         if args.seed is not None:
             config = config.with_(seed=args.seed)
     else:
-        config = preset_config(args.preset, scale=scale, routing=args.routing,
-                               seed=1 if args.seed is None else args.seed)
+        config = cross_topology_config(
+            args.topology or "dragonfly", scale=scale, routing=args.routing,
+            seed=1 if args.seed is None else args.seed,
+            flow_control=args.preset)
     loads = args.loads or (scale.loads_uniform if args.pattern == "uniform"
                            else scale.loads_adversarial)
     spec = RunSpec(

@@ -14,7 +14,13 @@ and ``seeds > 1`` replicates every point and reports mean ± 95% CI.
 from __future__ import annotations
 
 from repro.core.paritysign import CANONICAL_ORDER, TYPE_NAMES, build_allowed_table
-from repro.experiments.presets import get_scale, preset_config, preset_runspec
+from repro.experiments.presets import (
+    XTOPO_TOPOLOGIES,
+    cross_topology_config,
+    get_scale,
+    preset_config,
+    preset_runspec,
+)
 from repro.runplan import (
     RunSpec,
     execute,
@@ -193,6 +199,42 @@ def burst_response(scale="tiny", bursts=None, seed=1, workers=1, seeds=1,
         for n in bursts
     ]
     return _figure(specs, scale, "uniform+burst", VCT_MIX_MECHS,
+                   workers=workers, seeds=seeds, cache=cache)
+
+
+# ------------------------------------------------ cross-topology (new)
+#: mechanisms compared on every fabric (the fabric-agnostic baselines)
+XTOPO_MECHS = ("minimal", "valiant")
+
+
+def cross_topology(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
+                   cache=None) -> dict:
+    """Cross-fabric comparison: throughput vs load per topology, VCT.
+
+    Not a paper figure — the generality check of the topology-agnostic
+    engine: the same minimal and Valiant mechanisms, routed through
+    each fabric's ``min_hop`` oracle, under uniform traffic on a
+    Dragonfly, a 1-D flattened butterfly and a 2-D torus sized to the
+    *same node count* (see
+    :func:`~repro.experiments.presets.cross_topology_config`).  One
+    curve per (fabric, mechanism); records carry a ``topology``
+    coordinate.
+    """
+    scale = get_scale(scale)
+    loads = tuple(loads) if loads is not None else scale.loads_uniform
+    order = [f"{topo}/{mech}" for topo in XTOPO_TOPOLOGIES
+             for mech in XTOPO_MECHS]
+    specs = [
+        RunSpec(config=cross_topology_config(topo, scale=scale, routing=mech,
+                                             seed=seed),
+                pattern="uniform", loads=loads,
+                warmup=scale.warmup, measure=scale.measure,
+                seeds=replica_seeds(seed, seeds),
+                series=f"{topo}/{mech}", coords=(("topology", topo),))
+        for topo in XTOPO_TOPOLOGIES
+        for mech in XTOPO_MECHS
+    ]
+    return _figure(specs, scale, "uniform", order,
                    workers=workers, seeds=seeds, cache=cache)
 
 

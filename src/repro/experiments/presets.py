@@ -110,6 +110,53 @@ def preset_config(flow_control: str, *, scale, routing: str, seed: int = 1,
     return builder(h=get_scale(scale).h, routing=routing, seed=seed, **over)
 
 
+#: fabrics compared by the cross-topology figure (xtopo1)
+XTOPO_TOPOLOGIES = ("dragonfly", "flattened_butterfly", "torus")
+
+
+def _torus_dims(routers: int) -> tuple[int, int]:
+    """Most-square ``rows x cols == routers`` factorisation, both >= 3."""
+    best = None
+    for rows in range(3, int(routers**0.5) + 1):
+        if routers % rows == 0 and routers // rows >= 3:
+            best = (rows, routers // rows)
+    if best is None:
+        raise ValueError(
+            f"cannot factor {routers} routers into a rows x cols torus "
+            "with both dimensions >= 3"
+        )
+    return best
+
+
+def cross_topology_config(topology: str, *, scale, routing: str, seed: int = 1,
+                          flow_control: str = "vct", **over) -> SimConfig:
+    """Config for one fabric of the cross-topology comparison (xtopo1).
+
+    All fabrics are sized to the *same node count* as the scale's
+    canonical Dragonfly (``(2h^2+1) * 2h`` routers with ``p = h`` nodes
+    each): the flattened butterfly gets that router count as one
+    complete graph, the torus the most-square ``rows x cols``
+    factorisation of it.  Link latencies, buffers and per-node load
+    definitions are shared, so accepted-load curves are comparable.
+    """
+    scale = get_scale(scale)
+    cfg = preset_config(flow_control, scale=scale, routing=routing, seed=seed,
+                        **over)
+    if topology == "dragonfly":
+        return cfg
+    routers = (2 * scale.h * scale.h + 1) * 2 * scale.h
+    if topology == "flattened_butterfly":
+        return cfg.with_(topology="flattened_butterfly", fb_routers=routers,
+                         p=scale.h)
+    if topology == "torus":
+        rows, cols = _torus_dims(routers)
+        return cfg.with_(topology="torus", torus_rows=rows, torus_cols=cols,
+                         p=scale.h)
+    # any other registered fabric: selected as-is, sized by its own
+    # from_config defaults (raises UnknownComponentError when unknown)
+    return cfg.with_(topology=topology)
+
+
 def preset_runspec(flow_control: str, *, scale, routing: str, pattern: str,
                    loads=None, seed: int = 1, seeds: int = 1,
                    series: str | None = None, **over) -> RunSpec:

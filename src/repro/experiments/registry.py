@@ -61,6 +61,10 @@ _SPECS = [
                    "RLM threshold sweep, ADVG+1, VCT (Figs 11a/11b)"),
     ExperimentSpec("tab1", figures.table1, "allowed",
                    "Parity-sign hop combination table (Table I)"),
+    ExperimentSpec("xtopo1", figures.cross_topology, "throughput",
+                   "Accepted vs offered load per fabric (Dragonfly / "
+                   "flattened butterfly / 2-D torus), minimal & Valiant "
+                   "at matched node counts, UN, VCT"),
     ExperimentSpec("trans1", figures.burst_response, "recovery_cycles",
                    "Transient burst response: recovery time vs burst size "
                    "(load step, VCT; §II congestion dynamics)"),

@@ -45,6 +45,14 @@ class RunResult:
     ``"drain"`` (run-until-empty); ``drain_cycles`` is only set for the
     latter.  Latency percentiles are computed over every packet
     delivered inside the window.
+
+    Units: ``start_cycle``/``end_cycle``/``max_latency``/``drain_cycles``
+    and every latency field are in *cycles*; ``generated``/``delivered``
+    count packets, ``delivered_phits`` counts phits; ``throughput`` is
+    accepted load in phits/(node·cycle) — 1.0 means every node sinks
+    one phit per cycle; misroute fields are fractions of delivered
+    packets.  Equal configs (same ``SimConfig.canonical_json()``),
+    traffic and windows always reproduce the same result, bit for bit.
     """
 
     kind: str
@@ -108,10 +116,16 @@ class Session:
     """A live simulation with the warm-up / measure / drain workflow.
 
     Chainable: ``session(cfg, pattern="uniform", load=0.5)
-    .warmup(2000).measure(2000)``.  The session attaches a delivery
-    observer to record per-packet latencies for the percentile fields of
-    :class:`RunResult`; further observers can be added freely through
-    ``session.sim.add_delivery_observer``.
+    .warmup(2000).measure(2000)``.  All durations are in cycles and
+    offered loads in phits/(node·cycle).  The session attaches a
+    delivery observer to record per-packet latencies for the percentile
+    fields of :class:`RunResult`; further observers can be added freely
+    through ``session.sim.add_delivery_observer``.
+
+    Determinism: a session is a pure function of its config (seeded RNG
+    streams for traffic and routing) and its call sequence — replaying
+    the same calls on the same config yields byte-identical results on
+    any fabric, executor or host (see ``docs/ARCHITECTURE.md``).
     """
 
     def __init__(self, config: SimConfig | None = None, *, traffic=None,
@@ -273,7 +287,11 @@ class Session:
             hub.detach()
 
     def drain(self, max_cycles: int = 1_000_000) -> RunResult:
-        """Run until all injected traffic is delivered; snapshot with drain time."""
+        """Run until all injected traffic is delivered; snapshot with drain time.
+
+        ``max_cycles`` caps the run (a ``DeadlockError`` is raised past
+        it); the result's ``drain_cycles`` is the cycles actually spent.
+        """
         cycles = self._sim.run_until_drained(max_cycles)
         return self._snapshot("drain", drain_cycles=cycles)
 

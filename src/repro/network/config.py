@@ -6,6 +6,11 @@ global links 100 cycles, local FIFOs 32 phits, global FIFOs 256 phits,
 WH packets of 80 phits in 8 flits of 10 phits.  The network size
 defaults to ``h = 2`` so that pure-Python sweeps finish quickly; the
 paper's machine is ``h = 8`` and can be built by passing ``h=8``.
+Non-Dragonfly fabrics are sized by their own knobs (``fb_routers``
+for the flattened butterfly, ``torus_rows``/``torus_cols`` for the
+torus, shared ``p`` concentration); unused knobs still participate in
+:meth:`SimConfig.canonical_json`, keeping cache keys total functions
+of the dataclass.
 
 Component names (``topology``, ``routing``, ``flow_control``,
 ``arbitration``) are validated against the unified registries in
@@ -33,10 +38,19 @@ class SimConfig:
 
     # ---- topology
     topology: str = "dragonfly"
+    #: Dragonfly size knobs: global ports per router (h), nodes per
+    #: router (p, also the concentration of the other fabrics) and
+    #: routers per group (a); ``None`` means the canonical well-balanced
+    #: derivation from h
     h: int = 2
     p: int | None = None
     a: int | None = None
     arrangement: str = "palmtree"
+    #: flattened-butterfly size: routers in the single complete graph
+    fb_routers: int = 8
+    #: torus size: Y-ring (rows = groups) and X-ring (cols) lengths
+    torus_rows: int = 4
+    torus_cols: int = 4
 
     # ---- routing
     routing: str = "olm"
@@ -94,6 +108,24 @@ class SimConfig:
         ARBITER_REGISTRY.get(self.arbitration)
         if self.packet_phits <= 0:
             raise ValueError("packet_phits must be positive")
+        if self.topology == "flattened_butterfly":
+            if self.fb_routers < 2:
+                raise ValueError(
+                    f"fb_routers must be >= 2 for a flattened butterfly, got "
+                    f"{self.fb_routers}"
+                )
+            if self.fb_routers < 3 and self.routing == "valiant":
+                raise ValueError(
+                    "valiant routing on a flattened butterfly needs "
+                    f"fb_routers >= 3 (got {self.fb_routers}): no "
+                    "intermediate router exists"
+                )
+        if self.topology == "torus" and min(self.torus_rows, self.torus_cols) < 3:
+            raise ValueError(
+                f"torus_rows/torus_cols must be >= 3, got "
+                f"{self.torus_rows}x{self.torus_cols}: a ring of fewer than "
+                "3 routers folds both link directions onto one neighbour"
+            )
         if not 0.0 <= self.threshold:
             raise ValueError("threshold must be non-negative")
         if self.router_latency < 0:

@@ -3,8 +3,11 @@
 A packet carries its routing state (Valiant commitment, hop counters,
 per-group misrouting bookkeeping) so that *on-the-fly* adaptive
 mechanisms can revisit the routing decision at every hop, as in the
-paper.  Under VCT a packet is a single flit of ``size_phits`` phits;
-under Wormhole it is split into fixed-size flits.
+paper.  ``valiant_group`` holds the fabric-defined Valiant
+intermediate token (a group id on the Dragonfly, a router id on the
+flat fabrics — see ``Topology.pick_via``).  Under VCT a packet is a
+single flit of ``size_phits`` phits; under Wormhole it is split into
+fixed-size flits.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ class Packet:
         "src_group",
         # routing state
         "valiant_group",
+        "via_done",
         "committed",
         "g_hops",
         "local_hops_group",
@@ -52,6 +56,10 @@ class Packet:
         self.dst_router = dst_router
         self.dst_group = dst_group
         self.valiant_group: int | None = None
+        # whether a router-granular Valiant intermediate has been reached
+        # (flipped by the fabric's min_hop oracle; unused on the Dragonfly,
+        # whose group-granular token resolves through g_hops instead)
+        self.via_done = False
         self.committed = False
         self.g_hops = 0
         self.local_hops_group = 0

@@ -1,10 +1,10 @@
 """Input-buffered virtual-channel router.
 
-Port layout of a router with ``p`` nodes, ``a`` routers/group, ``h``
-global ports:
+Port layout of a router with ``p`` nodes, ``L = topo.local_ports``
+local and ``G = topo.global_ports`` global ports:
 
-* outputs: ``0..p-1`` ejection (one per node), ``p..p+a-2`` local,
-  ``p+a-1..p+a+h-2`` global;
+* outputs: ``0..p-1`` ejection (one per node), ``p..p+L-1`` local,
+  ``p+L..p+L+G-1`` global;
 * inputs: ``0..p-1`` injection queues (one per node, single unbounded
   FIFO), then local and global input ports mirroring the outputs.
 
@@ -13,10 +13,11 @@ flit phits); each output transmits at most one flit at a time.  The
 allocation itself lives in :mod:`repro.network.simulator`.
 
 The router is topology-agnostic: the port layout above is derived from
-the :class:`~repro.topology.base.Topology` protocol sizes (``p``,
-``a``, ``h``) and wired through the protocol's neighbour maps, so any
-registered fabric — Dragonfly or otherwise — rides the same engine
-fast path.
+the :class:`~repro.topology.base.Topology` protocol port counts
+(``p``, ``local_ports``, ``global_ports`` — ``a-1``/``h`` on the
+Dragonfly, ``2``/``2`` on the torus, ``R-1``/``0`` on the flattened
+butterfly) and wired through the protocol's neighbour maps, so any
+registered fabric rides the same engine fast path.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ class Router:
     """One router: input VC buffers + output credit state."""
 
     __slots__ = ("rid", "group", "idx", "inputs", "outputs", "pending",
-                 "_p", "_a", "_h", "_local_base", "_global_base")
+                 "_local_base", "_global_base")
 
     def __init__(self, rid: int, topo: Topology, *, local_vcs: int, global_vcs: int,
                  local_capacity: int, global_capacity: int,
@@ -42,32 +43,32 @@ class Router:
         self.group = topo.group_of(rid)
         self.idx = topo.index_in_group(rid)
         self.pending = 0  # flits buffered across all inputs (fast skip)
-        p, a, h = topo.p, topo.a, topo.h
-        self._p, self._a, self._h = p, a, h
+        p = topo.p
+        nl, ng = topo.local_ports, topo.global_ports
         self._local_base = p
-        self._global_base = p + a - 1
+        self._global_base = p + nl
 
         inputs: list[InputPort] = []
         for k in range(p):
             inputs.append(InputPort(1, INJECTION_CAPACITY, k, is_injection=True))
-        for q in range(a - 1):
+        for q in range(nl):
             inputs.append(InputPort(local_vcs, local_capacity, p + q))
-        for k in range(h):
-            inputs.append(InputPort(global_vcs, global_capacity, p + a - 1 + k))
+        for k in range(ng):
+            inputs.append(InputPort(global_vcs, global_capacity, p + nl + k))
         self.inputs = inputs
 
         outputs: list[OutputUnit] = []
         for k in range(p):
             outputs.append(OutputUnit(PortKind.EJECT, k, 1, 0, 0, None, None))
-        for q in range(a - 1):
+        for q in range(nl):
             nbr_idx = topo.local_neighbor_index(self.idx, q)
             nbr = topo.router_id(self.group, nbr_idx)
             nbr_port = p + topo.local_port_to(nbr_idx, self.idx)
             outputs.append(OutputUnit(PortKind.LOCAL, q, local_vcs, local_capacity,
                                       local_latency, nbr, nbr_port))
-        for k in range(h):
+        for k in range(ng):
             peer, pport = topo.global_neighbor(rid, k)
-            peer_port = p + a - 1 + pport
+            peer_port = p + nl + pport
             outputs.append(OutputUnit(PortKind.GLOBAL, k, global_vcs, global_capacity,
                                       global_latency, peer, peer_port))
         self.outputs = outputs

@@ -86,8 +86,15 @@ class Simulator:
                 f"flow-control unit of {unit} phits does not fit the smallest "
                 f"buffer ({min(config.local_buffer_phits, config.global_buffer_phits)} phits)"
             )
-        self.local_vcs = max(config.local_vcs, algo_cls.local_vcs)
-        self.global_vcs = max(config.global_vcs, algo_cls.global_vcs)
+        # VC allocation: whatever the config asks for, but never fewer
+        # than the routing mechanism or the fabric's own minimal-route
+        # discipline can address (e.g. the torus date-line scheme needs
+        # 3 global VCs for Valiant paths; the paper fabric's floor
+        # equals the config defaults, so nothing changes there)
+        self.local_vcs = max(config.local_vcs, algo_cls.local_vcs,
+                             getattr(self.topo, "route_local_vcs", 1))
+        self.global_vcs = max(config.global_vcs, algo_cls.global_vcs,
+                              getattr(self.topo, "route_global_vcs", 1))
         self.rng_traffic = random.Random(config.seed)
         self.rng_route = random.Random(config.seed ^ 0x9E3779B9)
         self.trigger = MisroutingTrigger(config.threshold)

@@ -52,7 +52,10 @@ class Registry(Mapping):
     Supports decorator registration, direct registration, mapping
     access, and introspection.  Lookup failures raise
     :class:`UnknownComponentError` listing the known names and the
-    closest match.
+    closest match.  Introspection output is deterministic:
+    :meth:`available` and :meth:`describe` are sorted by name
+    regardless of registration order, so CLI listings and generated
+    docs are stable across runs.
     """
 
     def __init__(self, kind: str) -> None:

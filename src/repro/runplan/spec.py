@@ -104,6 +104,13 @@ def replica_seeds(base_seed: int, replicas: int) -> tuple[int, ...]:
 class RunSpec:
     """A declarative experiment series: config x pattern x loads x seeds.
 
+    Units: ``loads`` are offered loads in phits/(node·cycle);
+    ``warmup``/``measure``/``max_cycles``/``bucket`` are cycles;
+    ``packets_per_node`` counts whole packets.  Expansion
+    (:meth:`expand`) is deterministic — seeds outer, loads inner, in
+    declaration order — and each point's record depends only on the
+    point's content, never on the executor that computes it.
+
     ``seeds`` holds the explicit replica seeds (see :func:`replica_seeds`);
     each expands to its own point with ``config.with_(seed=s)``, so a
     multi-seed spec yields ``len(loads) * len(seeds)`` independent jobs.

@@ -8,7 +8,11 @@ from __future__ import annotations
 
 from repro.registry import TOPOLOGY_REGISTRY
 from repro.topology.arrangements import GlobalArrangement, arrangement_by_name
-from repro.topology.base import OutputPort, PortKind  # noqa: F401 (back-compat re-export)
+from repro.topology.base import (  # noqa: F401 (back-compat re-export)
+    DRAGONFLY_CAPS,
+    OutputPort,
+    PortKind,
+)
 
 
 @TOPOLOGY_REGISTRY.register(
@@ -16,6 +20,13 @@ from repro.topology.base import OutputPort, PortKind  # noqa: F401 (back-compat 
     description="Dragonfly: complete-graph local and global networks (Kim et al.)")
 class Dragonfly:
     """A Dragonfly topology with complete-graph local and global networks.
+
+    Provides the full routing-oracle surface of the
+    :class:`~repro.topology.base.Topology` protocol: minimal paths are
+    ``l-g-l`` shaped, the VC discipline ascends with the global-hop
+    count (3 local / 2 global VCs suffice for any Valiant path), and
+    the Valiant intermediate token is a *group* id, as in the paper.
+    All capability flags are set — every routing mechanism runs here.
 
     Parameters
     ----------
@@ -30,6 +41,12 @@ class Dragonfly:
     arrangement:
         Name of the global link arrangement (``"palmtree"`` default).
     """
+
+    caps = DRAGONFLY_CAPS
+    #: ascending VC discipline: local VC == global hops taken (0..2 on a
+    #: Valiant path), global VC == global hops taken (0..1)
+    route_local_vcs = 3
+    route_global_vcs = 2
 
     def __init__(self, h: int, *, p: int | None = None, a: int | None = None,
                  arrangement: str = "palmtree") -> None:
@@ -161,6 +178,52 @@ class Dragonfly:
         g = self.group_of(router)
         i = self.index_in_group(router)
         return self.arrangement.target_group(g, self.global_link_index(i, gport))
+
+    # --------------------------------------------------------- routing oracle
+    def min_hop(self, cur_router: int, packet) -> tuple[PortKind, int, int, int]:
+        """(kind, port, target, vc) of the minimal hop (paper discipline).
+
+        The routing objective is the Valiant intermediate group while
+        ``packet.valiant_group`` is set and no global hop has been
+        taken yet, the destination group afterwards; the VC is the
+        ascending ``lVC_{g+1}``/``gVC_{g+1}`` map (0-based: the hop
+        after ``g`` global hops rides VC ``g``; ejection rides VC 0).
+        """
+        cur_group = self.group_of(cur_router)
+        if packet.valiant_group is not None and packet.g_hops == 0:
+            tgt_group = packet.valiant_group
+        else:
+            tgt_group = packet.dst_group
+        idx = self.index_in_group(cur_router)
+        if cur_group == tgt_group:
+            dst_idx = self.index_in_group(packet.dst_router)
+            if idx == dst_idx:
+                k = self.node_index(packet.dst)
+                return PortKind.EJECT, k, k, 0
+            return (PortKind.LOCAL, self.local_port_to(idx, dst_idx),
+                    dst_idx, packet.g_hops)
+        exit_idx, gport = self.exit_port(cur_group, tgt_group)
+        if idx == exit_idx:
+            return PortKind.GLOBAL, gport, gport, packet.g_hops
+        return (PortKind.LOCAL, self.local_port_to(idx, exit_idx),
+                exit_idx, packet.g_hops)
+
+    def pick_via(self, rng, packet) -> int:
+        """Random Valiant intermediate *group*, excluding source and
+        destination groups (the paper's Valiant semantics)."""
+        g = self.num_groups
+        while True:
+            cand = rng.randrange(g)
+            if cand == packet.src_group or cand == packet.dst_group:
+                continue
+            return cand
+
+    def escape_ring(self):
+        """Hamiltonian escape ring: snake each group between its global
+        entry and exit routers (see :mod:`repro.topology.ring`)."""
+        from repro.topology.ring import dragonfly_escape_ring
+
+        return dragonfly_escape_ring(self)
 
     # ------------------------------------------------------------- distances
     def minimal_hops(self, src_router: int, dst_router: int) -> int:

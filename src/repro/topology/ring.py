@@ -2,25 +2,56 @@
 
 OFAR's deadlock avoidance uses a deadlock-free *escape subnetwork*: a
 Hamiltonian ring over all routers, regulated by bubble flow control.
-On a canonical Dragonfly the ring is embedded as: enter group ``g`` at
-the router holding the global link from group ``g-1``, snake through
-the remaining routers over local links (any order works — the local
-network is a complete graph), leave from the router holding the link to
-group ``g+1``.
+Each fabric embeds its own ring through the
+:meth:`~repro.topology.base.Topology.escape_ring` hook —
+:func:`hamiltonian_ring` dispatches to it (falling back to the
+Dragonfly construction for pre-hook third-party fabrics) and
+:func:`validate_ring` checks any successor map against the fabric's
+neighbour maps.
+
+On a Dragonfly the ring is embedded as: enter group ``g`` at the
+router holding the global link from group ``g-1``, snake through the
+remaining routers over local links (any order works — the local
+network is a complete graph), leave from the router holding the link
+to group ``g+1``.  The flattened butterfly rings its complete graph
+directly; the torus serpentines its grid (see each fabric's
+``escape_ring`` docstring).
 """
 
 from __future__ import annotations
 
-from repro.topology.base import PortKind
-from repro.topology.dragonfly import Dragonfly
+from repro.topology.base import PortKind, Topology
 
 
-def hamiltonian_ring(topo: Dragonfly) -> dict[int, tuple[int, PortKind, int]]:
+def hamiltonian_ring(topo: Topology) -> dict[int, tuple[int, PortKind, int]]:
     """Successor map ``router -> (next_router, port_kind, port_index)``.
 
-    Raises ``ValueError`` when the arrangement makes a group's entry and
-    exit router coincide (the snake construction then fails).
+    Dispatches to the fabric's ``escape_ring`` hook; fabrics without
+    one (pre-protocol third-party Dragonfly lookalikes) get the
+    Dragonfly snake construction.  Raises ``ValueError`` (or
+    :class:`~repro.topology.base.UnsupportedTopologyError`) with an
+    actionable message when no ring embedding exists.
     """
+    hook = getattr(topo, "escape_ring", None)
+    if hook is not None:
+        return hook()
+    return dragonfly_escape_ring(topo)
+
+
+def dragonfly_escape_ring(topo) -> dict[int, tuple[int, PortKind, int]]:
+    """The Dragonfly ring: snake each group between its entry and exit.
+
+    Raises ``ValueError`` when the arrangement makes a group's entry
+    and exit router coincide, or when groups hold a single router
+    (``a = 1``) — the snake construction then has no distinct entry
+    and exit to thread.
+    """
+    if topo.a < 2:
+        raise ValueError(
+            "cannot snake a Hamiltonian ring through groups of a single "
+            f"router (a={topo.a}): the construction needs distinct entry "
+            "and exit routers per group"
+        )
     g_count = topo.num_groups
     entry: dict[int, int] = {}
     for g in range(g_count):
@@ -34,7 +65,7 @@ def hamiltonian_ring(topo: Dragonfly) -> dict[int, tuple[int, PortKind, int]]:
         nxt_g = (g + 1) % g_count
         e = entry[g]
         x, gport = topo.exit_port(g, nxt_g)
-        if e == x and topo.a > 1:
+        if e == x:
             raise ValueError(
                 "this global arrangement routes the ring into and out of the "
                 f"same router of group {g}; no Hamiltonian snake exists"
@@ -55,8 +86,12 @@ def hamiltonian_ring(topo: Dragonfly) -> dict[int, tuple[int, PortKind, int]]:
     return succ
 
 
-def validate_ring(topo: Dragonfly, succ: dict[int, tuple[int, PortKind, int]]) -> None:
-    """Assert the successor map is one Hamiltonian cycle over all routers."""
+def validate_ring(topo: Topology, succ: dict[int, tuple[int, PortKind, int]]) -> None:
+    """Assert the successor map is one Hamiltonian cycle over all routers.
+
+    Fabric-agnostic: each claimed hop is checked against the fabric's
+    ``local_neighbor``/``global_neighbor`` maps.
+    """
     assert len(succ) == topo.num_routers, "ring must cover every router"
     seen = set()
     cur = 0

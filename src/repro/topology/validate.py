@@ -1,31 +1,92 @@
-"""Structural validation of a Dragonfly instance.
+"""Structural validation of topology instances.
 
-These checks are cheap relative to a simulation and are run by the test
-suite for several sizes; :func:`validate_topology` can also be called by
-users after constructing exotic ``(p, a, h)`` combinations.
+These checks are cheap relative to a simulation and are run by the
+test suite for several sizes; :func:`validate_topology` dispatches on
+the fabric type — Dragonfly, flattened butterfly or torus — and can
+also be called by users after constructing exotic parameter
+combinations.  Third-party fabrics get the fabric-agnostic protocol
+checks (:func:`validate_protocol`).
 """
 
 from __future__ import annotations
 
+from repro.topology.base import Topology
 from repro.topology.dragonfly import Dragonfly
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.topology.torus import Torus2D
 
 
-def validate_topology(topo: Dragonfly) -> None:
-    """Raise ``AssertionError`` if the topology is not a valid Dragonfly."""
-    _check_counts(topo)
-    _check_local_ports(topo)
-    _check_global_matching(topo)
-    _check_exit_tables(topo)
+def validate_topology(topo: Topology) -> None:
+    """Raise ``AssertionError`` if ``topo`` is structurally inconsistent.
+
+    Runs the fabric-specific checks for the shipped fabrics, plus the
+    fabric-agnostic protocol checks for everything.
+    """
+    validate_protocol(topo)
+    if isinstance(topo, Dragonfly):
+        _check_counts(topo)
+        _check_local_complete(topo)
+        _check_global_matching(topo)
+        _check_exit_tables(topo)
+    elif isinstance(topo, FlattenedButterfly):
+        validate_flattened_butterfly(topo)
+    elif isinstance(topo, Torus2D):
+        validate_torus(topo)
+
+
+def validate_protocol(topo: Topology) -> None:
+    """Fabric-agnostic sanity of the protocol surface (any topology)."""
+    assert topo.num_routers == topo.num_groups * topo.a
+    assert topo.num_nodes == topo.num_routers * topo.p
+    assert topo.local_ports >= 0 and topo.global_ports >= 0
+    assert topo.route_local_vcs >= 1 and topo.route_global_vcs >= 1
+    for r in (0, topo.num_routers - 1):
+        g, i = topo.group_of(r), topo.index_in_group(r)
+        assert topo.router_id(g, i) == r, "group/index arithmetic broken"
+        for k in range(topo.p):
+            n = topo.node_id(r, k)
+            assert topo.router_of_node(n) == r and topo.node_index(n) == k
+
+
+def validate_flattened_butterfly(topo: FlattenedButterfly) -> None:
+    """The single group must be a complete graph with inverse port maps."""
+    assert topo.num_groups == 1
+    assert topo.global_ports == 0 and topo.h == 0
+    assert topo.local_ports == topo.a - 1
+    _check_local_complete(topo)
+
+
+def validate_torus(topo: Torus2D) -> None:
+    """Both dimensions must be symmetric wrap-around rings."""
+    assert topo.num_groups == topo.rows and topo.a == topo.cols
+    assert topo.local_ports == 2 and topo.global_ports == 2
+    for r in range(topo.num_routers):
+        # X ring: the two local ports are inverse neighbours
+        i = topo.index_in_group(r)
+        fwd, back = topo.local_neighbor(r, 0), topo.local_neighbor(r, 1)
+        assert topo.group_of(fwd) == topo.group_of(r) == topo.group_of(back)
+        assert topo.local_neighbor(fwd, 1) == r and topo.local_neighbor(back, 0) == r
+        assert topo.local_port_to(i, topo.index_in_group(fwd)) == 0
+        assert topo.local_port_to(i, topo.index_in_group(back)) == 1
+        # Y ring: global links are a symmetric matching of port pairs
+        for gport in (0, 1):
+            peer, pport = topo.global_neighbor(r, gport)
+            assert topo.index_in_group(peer) == i, "Y links stay in a column"
+            assert topo.global_neighbor(peer, pport) == (r, gport), \
+                "global matching not symmetric"
+            assert topo.target_group_of(r, gport) == topo.group_of(peer)
+    # ring distances: opposite corner is rows//2 + cols//2 hops away
+    far = topo.router_id(topo.rows // 2, topo.cols // 2)
+    assert topo.minimal_hops(0, far) == topo.rows // 2 + topo.cols // 2
 
 
 def _check_counts(topo: Dragonfly) -> None:
     assert topo.num_groups == topo.a * topo.h + 1
-    assert topo.num_routers == topo.num_groups * topo.a
-    assert topo.num_nodes == topo.num_routers * topo.p
     assert topo.radix == topo.p + (topo.a - 1) + topo.h
 
 
-def _check_local_ports(topo: Dragonfly) -> None:
+def _check_local_complete(topo) -> None:
+    """Local ports of a complete-graph group reach every other router."""
     for i in range(topo.a):
         seen = set()
         for q in range(topo.local_ports):

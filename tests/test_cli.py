@@ -52,6 +52,9 @@ def test_list_components(capsys):
         assert kind in out
     for name in ("dragonfly", "olm", "vct", "rr", "uniform", "bernoulli"):
         assert name in out
+    # all three shipped fabrics are registered (the CI smoke relies on this)
+    for fabric in ("dragonfly", "flattened_butterfly", "torus"):
+        assert fabric in out
 
 
 def test_point_command_round_trips_config(tmp_path, capsys):
@@ -149,3 +152,30 @@ def test_sweep_config_file_seed_respected(tmp_path, capsys):
     assert main(args2) == 0
     capsys.readouterr()
     assert json.loads(out2.read_text())["config"]["seed"] == 7
+
+
+def test_sweep_topology_flag_selects_fabric(tmp_path, capsys):
+    out, args = _sweep_args(tmp_path, "fb", "--topology", "flattened_butterfly",
+                            "--scale", "smoke")
+    assert main(args) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["config"]["topology"] == "flattened_butterfly"
+    # sized to the smoke scale's canonical node count (36 routers x p=2)
+    assert payload["config"]["fb_routers"] == 36
+    assert all(r["throughput"] > 0 for r in payload["records"])
+
+
+def test_sweep_topology_conflicts_with_config(tmp_path):
+    cfg = tmp_path / "cfg.json"
+    cfg.write_text(json.dumps({"routing": "minimal"}))
+    _, args = _sweep_args(tmp_path, "conflict", "--config", str(cfg),
+                          "--topology", "torus")
+    with pytest.raises(ValueError, match="not both"):
+        main(args)
+
+
+def test_sweep_topology_flag_rejects_unknown(tmp_path):
+    _, args = _sweep_args(tmp_path, "bad", "--topology", "klein-bottle")
+    with pytest.raises(ValueError, match="klein-bottle"):
+        main(args)

@@ -29,7 +29,7 @@ def test_registry_covers_every_figure_and_table():
         "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
         "fig6a", "fig6b", "fig7a", "fig7b", "fig7c",
         "fig8a", "fig8b", "fig8c", "fig9a", "fig9b",
-        "fig10", "fig11", "tab1", "trans1",
+        "fig10", "fig11", "tab1", "trans1", "xtopo1",
     }
     assert set(EXPERIMENTS) == expected
     for spec in EXPERIMENTS.values():

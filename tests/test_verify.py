@@ -5,6 +5,7 @@ from repro.experiments.verify import (
     CHECKS,
     Claim,
     check_burst,
+    check_cross_topology,
     check_mixed,
     check_table1,
     check_vct_advgh,
@@ -85,6 +86,45 @@ def test_table1_claim():
     claims = check_table1(res)
     assert claims[0].passed
     assert verify_result(res)[0].passed
+
+
+def xtopo_points(sat, lat0):
+    """Curve tracking offered load up to a saturation plateau."""
+    return [{"load": load, "throughput": min(load, sat),
+             "mean_latency": lat0 * (1 + 2 * i)}
+            for i, load in enumerate((0.1, 0.4, 0.8))]
+
+
+def good_xtopo_result():
+    return {"id": "xtopo1", "series": {
+        "dragonfly/minimal": xtopo_points(0.65, 115.0),
+        "dragonfly/valiant": xtopo_points(0.40, 240.0),
+        "flattened_butterfly/minimal": xtopo_points(0.80, 21.0),
+        "flattened_butterfly/valiant": xtopo_points(0.78, 32.0),
+        "torus/minimal": xtopo_points(0.25, 190.0),
+        "torus/valiant": xtopo_points(0.22, 430.0),
+    }}
+
+
+def test_cross_topology_claims_pass():
+    claims = check_cross_topology(good_xtopo_result())
+    assert len(claims) == 4
+    assert all(c.passed for c in claims)
+
+
+def test_cross_topology_claims_fail_on_broken_fabric():
+    # a deadlocked torus (throughput collapse) must trip the first claim
+    r = good_xtopo_result()
+    r["series"]["torus/valiant"] = [
+        {"load": load, "throughput": 0.01, "mean_latency": 9000.0}
+        for load in (0.1, 0.4, 0.8)
+    ]
+    claims = check_cross_topology(r)
+    assert not claims[0].passed
+    # and Valiant beating minimal on a fabric trips the ordering claim
+    r = good_xtopo_result()
+    r["series"]["dragonfly/valiant"] = xtopo_points(0.90, 240.0)
+    assert not check_cross_topology(r)[1].passed
 
 
 def test_every_check_has_expectation_text():

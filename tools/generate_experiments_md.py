@@ -5,8 +5,15 @@ Usage::
 
     python -m repro.experiments.cli run all --scale tiny --json-dir results
     python tools/generate_experiments_md.py results EXPERIMENTS.md
+
+``--check`` renders in memory and compares against the existing file
+instead of writing — exit status 1 when EXPERIMENTS.md is stale (the
+CI docs-drift gate)::
+
+    python tools/generate_experiments_md.py --check results EXPERIMENTS.md
 """
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -14,18 +21,40 @@ from repro.experiments.reporting import load_result
 from repro.experiments.verify import render_experiments_md
 
 
-def main(results_dir: str = "results", out: str = "EXPERIMENTS.md") -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", nargs="?", default="results")
+    parser.add_argument("out", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when the rendered document "
+                             "differs from the existing file; write nothing")
+    args = parser.parse_args(argv)
+
     results = {}
-    for path in sorted(Path(results_dir).glob("*.json")):
+    for path in sorted(Path(args.results_dir).glob("*.json")):
         result = load_result(path)
         results[result["id"]] = result
     if not results:
-        print(f"no result JSONs found in {results_dir!r}", file=sys.stderr)
+        print(f"no result JSONs found in {args.results_dir!r}", file=sys.stderr)
         return 1
-    Path(out).write_text(render_experiments_md(results))
-    print(f"wrote {out} from {len(results)} experiments")
+    rendered = render_experiments_md(results)
+    out = Path(args.out)
+    if args.check:
+        current = out.read_text() if out.exists() else ""
+        if current != rendered:
+            print(
+                f"{args.out} is stale: regenerate it with\n"
+                f"    python tools/generate_experiments_md.py "
+                f"{args.results_dir} {args.out}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.out} is up to date ({len(results)} experiments)")
+        return 0
+    out.write_text(rendered)
+    print(f"wrote {args.out} from {len(results)} experiments")
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main(*sys.argv[1:]))
+    sys.exit(main())
