@@ -123,6 +123,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--raw", action="store_true",
                        help="emit one record per seed instead of mean ± CI")
     sweep.add_argument("--json", help="write the sweep payload to this JSON file")
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (HTTP API over the run-plan layer)",
+        description="Serve simulations over HTTP: POST /v1/jobs submits a "
+                    "point or RunSpec grid, GET /v1/jobs/{id}/stream follows "
+                    "the live metrics rows as JSONL, and identical concurrent "
+                    "submissions coalesce onto one execution (content-hash "
+                    "dedupe).  Uses uvicorn when installed, else a bundled "
+                    "stdlib server.  See docs/SERVICE.md.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent content-addressed result cache, "
+                            "shareable with offline 'run'/'sweep' --cache runs "
+                            "(default: in-memory, lost on restart)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="simulation worker threads (jobs running at once)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="jobs allowed to wait; submissions beyond it are "
+                            "rejected with HTTP 429")
+    serve.add_argument("--job-timeout", type=float, default=300.0, metavar="SECONDS",
+                       help="wall-clock budget per job before it is cancelled")
+    serve.add_argument("--retry-after", type=int, default=2, metavar="SECONDS",
+                       help="Retry-After header value on 429 responses")
+    serve.add_argument("--bucket", type=int, default=250, metavar="CYCLES",
+                       help="stream resolution for points without their own bucket")
+    serve.add_argument("--max-points", type=int, default=512,
+                       help="max run points one submission may expand to")
+    serve.add_argument("--keep-jobs", type=int, default=256,
+                       help="finished jobs retained for status/stream replay")
     return p
 
 
@@ -254,6 +284,32 @@ def _run_sweep(args) -> None:
         save_result(payload, args.json)
 
 
+def _run_serve(args) -> int:
+    from repro.serve import ServeSettings, create_app
+
+    try:
+        if not 1 <= args.port <= 65535:
+            raise ValueError(f"--port must be between 1 and 65535 (got {args.port})")
+        settings = ServeSettings(
+            cache_dir=args.cache_dir, workers=args.workers,
+            queue_limit=args.queue_limit, job_timeout=args.job_timeout,
+            retry_after=args.retry_after, bucket=args.bucket,
+            max_points=args.max_points, keep_jobs=args.keep_jobs)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    app = create_app(settings)
+    try:
+        import uvicorn
+    except ImportError:
+        from repro.serve.httpd import run
+
+        run(app, args.host, args.port)
+    else:  # pragma: no cover - uvicorn not in the pinned environment
+        uvicorn.run(app, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -269,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         _run_sweep(args)
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
         result = run_experiment(exp_id, scale=args.scale, seed=args.seed,

@@ -94,7 +94,10 @@ class SeriesResult:
     ``result`` is the window's :class:`RunResult`; ``series`` maps
     metric name to one value per ``bucket`` cycles (see
     :meth:`repro.metrics.hub.MetricsHub.series`); ``records`` is the
-    structured meta/bucket/summary row stream of the JSONL schema.
+    structured meta/bucket/summary row stream of the JSONL schema;
+    ``verify`` is the window's flow-conservation report
+    (:meth:`repro.metrics.hub.MetricsHub.verify`), captured before the
+    hub detaches.
     """
 
     result: RunResult
@@ -102,6 +105,7 @@ class SeriesResult:
     start_cycle: int
     series: dict = field(compare=False)
     records: tuple = field(compare=False)
+    verify: dict | None = field(default=None, compare=False)
 
     def to_dict(self) -> dict:
         return {
@@ -257,7 +261,8 @@ class Session:
         return self._snapshot("measure")
 
     def measure_series(self, cycles: int, *, bucket: int = 250,
-                       latencies: bool = True) -> "SeriesResult":
+                       latencies: bool = True, emit=None,
+                       meta: dict | None = None) -> "SeriesResult":
         """Run ``cycles`` cycles with a metrics hub attached: a transient
         window.
 
@@ -270,19 +275,45 @@ class Session:
         since the last :meth:`reset`/:meth:`warmup`, so call
         :meth:`reset` between back-to-back series measurements when
         each result should cover its own series.
+
+        ``emit`` — when given, the structured record stream is pushed
+        row by row *while the window runs*: the meta header first (the
+        window's end cycle is known up front), each bucket row as soon
+        as the simulator passes the bucket's closing cycle (the run is
+        advanced in ``bucket``-cycle chunks; chunked runs are
+        cycle-for-cycle identical to one long run), and the summary row
+        last.  The emitted rows equal ``SeriesResult.records`` exactly —
+        the serve layer streams them as live JSONL.  ``meta`` merges
+        extra fields into the meta row (emitted and in ``records``
+        alike).  An ``emit`` that raises aborts the measurement; the
+        serve layer uses this for cancellation.
         """
         sim = self._sim
         hub = MetricsHub(sim, bucket=bucket, latencies=latencies)
         try:
-            sim.run(cycles)
-            end = sim.now
-            return SeriesResult(
+            end = sim.now + cycles
+            if emit is None:
+                sim.run(cycles)
+            else:
+                emit(hub.meta_row(end, meta))
+                emitted = 0
+                while sim.now < end:
+                    sim.run(min(bucket, end - sim.now))
+                    closed = (sim.now - hub.start_cycle) // bucket
+                    while emitted < closed:
+                        emit(hub.bucket_row(emitted))
+                        emitted += 1
+            sr = SeriesResult(
                 result=self._snapshot("measure"),
                 bucket=bucket,
                 start_cycle=hub.start_cycle,
                 series=hub.series(end),
-                records=tuple(hub.records(end)),
+                records=tuple(hub.records(end, meta)),
+                verify=hub.verify(),
             )
+            if emit is not None:
+                emit(hub.summary_row(end))
+            return sr
         finally:
             hub.detach()
 

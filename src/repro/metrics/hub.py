@@ -130,6 +130,9 @@ class MetricsHub:
 
     def _zero_window(self, now: int) -> None:
         self.start_cycle = now
+        #: packets in flight when the window opened (flow conservation
+        #: baseline for :meth:`verify`)
+        self._inflight_at_window_start = self.sim.packets_in_flight
         self._buckets: list[_Bucket] = []
         self.injected = 0
         self.delivered = 0
@@ -230,6 +233,36 @@ class MetricsHub:
             self._attached = False
             self.sim.remove_tap(self)
 
+    # ----------------------------------------------------------- verification
+    def verify(self) -> dict:
+        """Flow-conservation check over the hub's window (SNIPPETS.md §2).
+
+        Every packet injected inside the window must either have been
+        delivered inside the window or still be in flight::
+
+            injected == delivered + (in_flight_now - in_flight_at_window_start)
+
+        At drain (``in_flight_now == 0``, hub attached before the first
+        injection) this reduces to ``injected == delivered``.  Returns a
+        report dict with ``ok`` plus every term, so callers (the serve
+        layer marks jobs ``failed`` on a violation) can render an
+        actionable message.  Inject and eject taps mutate the counters
+        at the same engine event that mutates ``packets_in_flight``, so
+        the identity holds exactly at any point between cycles — a
+        mismatch means lost or double-counted packets.
+        """
+        in_flight = self.sim.packets_in_flight
+        expected = self._inflight_at_window_start + self.injected - self.delivered
+        return {
+            "check": "flow_conservation",
+            "ok": in_flight == expected,
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "in_flight": in_flight,
+            "in_flight_at_window_start": self._inflight_at_window_start,
+            "expected_in_flight": expected,
+        }
+
     # --------------------------------------------------------------- readout
     def completed_buckets(self, end: int | None = None) -> list[_Bucket]:
         """The buckets fully covered by ``[start_cycle, end)``.
@@ -308,54 +341,67 @@ class MetricsHub:
             rec.setdefault(_KIND_NAMES.get(kind, str(kind)), {})[str(vc)] = phits
         return rec
 
-    def records(self, end: int | None = None, meta: dict | None = None) -> list[dict]:
-        """Structured record stream: meta header, one row per bucket, summary.
+    def meta_row(self, end: int | None = None, meta: dict | None = None) -> dict:
+        """The stream header row; ``meta`` merges extra identifying fields.
 
-        Every row carries ``schema``/``type``; bucket rows carry the
-        bucket's open cycle and all per-bucket metrics, the summary row
-        the window totals.  This is the JSONL interchange schema (see
-        README §Observability).
+        ``end`` defaults to the simulator's current cycle — pass the
+        planned window end instead to emit the header before the window
+        has run (the serve layer streams it first, since fixed-length
+        measurement windows know their end cycle up front).
         """
         end = self.sim.now if end is None else end
-        buckets = self.completed_buckets(end)
-        nodes = self.sim.topo.num_nodes
-        denom = nodes * self.bucket
-        rows = [{
+        return {
             "schema": OBS_SCHEMA_VERSION,
             "type": "meta",
             "start_cycle": self.start_cycle,
             "end_cycle": end,
             "bucket": self.bucket,
-            "num_nodes": nodes,
+            "num_nodes": self.sim.topo.num_nodes,
             **(meta or {}),
-        }]
-        for i, b in enumerate(buckets):
-            row = {
-                "schema": OBS_SCHEMA_VERSION,
-                "type": "bucket",
-                "index": i,
-                "cycle": self.start_cycle + i * self.bucket,
-                "injected": b.injected,
-                "delivered": b.delivered,
-                "delivered_phits": b.delivered_phits,
-                "throughput": b.delivered_phits / denom,
-                "latency_mean": (b.latency_sum / b.delivered
-                                 if b.delivered else None),
-                "latency_max": b.latency_max,
-                "grants": b.grants,
-                "local_misroutes": b.local_misroutes,
-                "global_misroutes": b.global_misroutes,
-                "ring_hops": b.ring_hops,
-                "credit_phits": b.credit_phits,
-                "occupancy": self._occupancy_record(b.occupancy),
-            }
-            if self._keep_latencies:
-                lat = sorted(b.latencies)
-                row["latency_p50"] = _percentile(lat, 0.50) if lat else None
-                row["latency_p95"] = _percentile(lat, 0.95) if lat else None
-                row["latency_p99"] = _percentile(lat, 0.99) if lat else None
-            rows.append(row)
-        rows.append({
+        }
+
+    def bucket_row(self, index: int) -> dict:
+        """Row ``index`` of the bucket stream.
+
+        A bucket's row is final as soon as the simulator has advanced
+        past the bucket's closing cycle: every engine event is stamped
+        at or after the cycle it is emitted, so closed buckets never
+        change — which is what lets the serve layer stream rows live,
+        byte-identical to a batch :meth:`records` export at the end.
+        """
+        b = self._bucket_at(self.start_cycle + index * self.bucket)
+        denom = self.sim.topo.num_nodes * self.bucket
+        row = {
+            "schema": OBS_SCHEMA_VERSION,
+            "type": "bucket",
+            "index": index,
+            "cycle": self.start_cycle + index * self.bucket,
+            "injected": b.injected,
+            "delivered": b.delivered,
+            "delivered_phits": b.delivered_phits,
+            "throughput": b.delivered_phits / denom,
+            "latency_mean": (b.latency_sum / b.delivered
+                             if b.delivered else None),
+            "latency_max": b.latency_max,
+            "grants": b.grants,
+            "local_misroutes": b.local_misroutes,
+            "global_misroutes": b.global_misroutes,
+            "ring_hops": b.ring_hops,
+            "credit_phits": b.credit_phits,
+            "occupancy": self._occupancy_record(b.occupancy),
+        }
+        if self._keep_latencies:
+            lat = sorted(b.latencies)
+            row["latency_p50"] = _percentile(lat, 0.50) if lat else None
+            row["latency_p95"] = _percentile(lat, 0.95) if lat else None
+            row["latency_p99"] = _percentile(lat, 0.99) if lat else None
+        return row
+
+    def summary_row(self, end: int | None = None) -> dict:
+        """The window-total trailer row of the record stream."""
+        end = self.sim.now if end is None else end
+        nodes = self.sim.topo.num_nodes
+        return {
             "schema": OBS_SCHEMA_VERSION,
             "type": "summary",
             "injected": self.injected,
@@ -371,8 +417,23 @@ class MetricsHub:
             "ring_utilisation": (self.ring_hops / self.grants
                                  if self.grants else 0.0),
             "credit_phits": self.credit_phits,
-        })
-        return rows
+        }
+
+    def records(self, end: int | None = None, meta: dict | None = None) -> list[dict]:
+        """Structured record stream: meta header, one row per bucket, summary.
+
+        Every row carries ``schema``/``type``; bucket rows carry the
+        bucket's open cycle and all per-bucket metrics, the summary row
+        the window totals.  This is the JSONL interchange schema (see
+        README §Observability).  The same rows can be obtained one at a
+        time (:meth:`meta_row` / :meth:`bucket_row` / :meth:`summary_row`)
+        — the serve layer streams them live as each bucket closes.
+        """
+        end = self.sim.now if end is None else end
+        n = max(0, (end - self.start_cycle) // self.bucket)
+        return [self.meta_row(end, meta),
+                *(self.bucket_row(i) for i in range(n)),
+                self.summary_row(end)]
 
     def write_jsonl(self, path, end: int | None = None,
                     meta: dict | None = None) -> Path:
@@ -400,10 +461,16 @@ def _strict(obj):
     return obj
 
 
+def strict_jsonable(obj):
+    """Public alias of the NaN-to-null mapping (serve layer, reporting)."""
+    return _strict(obj)
+
+
 def jsonl_line(record: dict) -> str:
     """One canonical JSONL line (sorted keys, strict JSON, no spaces)."""
     return json.dumps(_strict(record), sort_keys=True, separators=(",", ":"),
                       allow_nan=False)
 
 
-__all__ = ["MetricsHub", "LatencyTap", "OBS_SCHEMA_VERSION", "jsonl_line"]
+__all__ = ["MetricsHub", "LatencyTap", "OBS_SCHEMA_VERSION", "jsonl_line",
+           "strict_jsonable"]

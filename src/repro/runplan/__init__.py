@@ -29,7 +29,13 @@ from repro.runplan.executors import (
     executor_for_jobs,
     resolve_executor,
 )
-from repro.runplan.runner import execute, execute_point, execute_points, series_map
+from repro.runplan.runner import (
+    execute,
+    execute_point,
+    execute_points,
+    labeled_record,
+    series_map,
+)
 from repro.runplan.spec import (
     POINT_SCHEMA_VERSION,
     RunPoint,
@@ -58,5 +64,6 @@ __all__ = [
     "execute",
     "execute_point",
     "execute_points",
+    "labeled_record",
     "series_map",
 ]

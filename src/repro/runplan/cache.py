@@ -11,12 +11,18 @@ the same seed.
 
 from __future__ import annotations
 
+import itertools
 import json
 import math
 import os
 from pathlib import Path
 
 from repro.runplan.spec import RunPoint
+
+#: per-process counter making temp names unique across threads (the
+#: serve worker pool writes from several threads of one pid; ``next``
+#: on an ``itertools.count`` is atomic under the GIL)
+_TMP_SEQ = itertools.count()
 
 
 def canonical_record_json(record: dict) -> str:
@@ -41,27 +47,43 @@ class ResultCache:
 
     def get(self, point: RunPoint) -> dict | None:
         """The cached record for ``point``, or ``None`` on a miss."""
-        path = self._path(point.key())
-        try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        record = self.get_record(point.key())
+        if record is None:
             self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def get_record(self, key: str) -> dict | None:
+        """Look a record up by its raw content hash (no stats counted).
+
+        The serve layer's ``GET /v1/results/{content_hash}`` endpoint
+        reads the cache this way — straight by hash, without a
+        :class:`RunPoint` in hand and without touching the job queue.
+        """
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
             return None
-        self.hits += 1
         return payload["record"]
 
     def put(self, point: RunPoint, record: dict) -> None:
-        """Store ``record`` for ``point`` (atomic rename, concurrency safe).
+        """Store ``record`` atomically: temp file in the cache dir + rename.
 
-        The temp file carries this process's pid so concurrent sweeps
-        sharing a cache directory never clobber each other mid-write;
-        whichever rename lands last wins with a complete file (both
-        writers computed the same deterministic record anyway).
+        The temp name carries this process's pid *and* a per-process
+        sequence number, so concurrent writers — pool processes sharing
+        a cache directory, or serve worker threads sharing this object —
+        never write the same temp file.  ``os.replace`` then publishes
+        the complete file in one atomic step: a reader racing the write
+        sees either nothing (a miss) or the full record, never a torn
+        JSON (``tests/test_cache_atomic.py``).  Whichever rename lands
+        last wins with a complete file (both writers computed the same
+        deterministic record anyway).
         """
         path = self._path(point.key())
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"point": point.describe(), "record": record}
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp = path.with_suffix(f".{os.getpid()}.{next(_TMP_SEQ)}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
         tmp.replace(path)
 

@@ -38,12 +38,19 @@ def execute_point(point: RunPoint) -> dict:
                      point.warmup, point.measure, steady=point.steady)
 
 
-def _labeled(point: RunPoint, record: dict) -> dict:
+def labeled_record(point: RunPoint, record: dict) -> dict:
+    """Merge a point's display labels (``series``/``coords``) into a copy
+    of its raw record — the step between cache-addressable measurement
+    content and the labelled records downstream consumers (figures,
+    the serve layer's job results) see."""
     rec = dict(record)
     if point.series:
         rec["series"] = point.series
     rec.update(point.coords)
     return rec
+
+
+_labeled = labeled_record
 
 
 def execute_points(points, *, executor="serial", jobs: int | None = None,

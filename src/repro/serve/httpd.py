@@ -1,0 +1,146 @@
+"""Minimal stdlib ASGI server: ``repro serve`` with nothing installed.
+
+A dev-grade HTTP/1.1 bridge on ``asyncio.start_server`` so the service
+runs out of the box — ``uvicorn`` is an optional extra, not a
+dependency, and the container image does not carry it.  Scope is
+deliberately small: one request per connection (``Connection: close``),
+close-delimited response bodies (no keep-alive, no TLS, no websockets),
+client disconnects surfaced as ``http.disconnect``.  Anything
+production-shaped should sit behind a real ASGI server; the protocol
+handling here is just enough for ``curl``, the docs examples and local
+experiments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+_MAX_HEADER_BYTES = 65536
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error"}
+
+
+async def _read_request(reader):
+    """Parse one request head + body; returns (scope, body) or None on EOF."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    method, target, _version = lines[0].split(" ", 2)
+    headers = []
+    content_length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        name = name.strip().lower()
+        value = value.strip()
+        headers.append((name.encode("latin-1"), value.encode("latin-1")))
+        if name == "content-length":
+            content_length = int(value)
+    path, _, query = target.partition("?")
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    scope = {
+        "type": "http",
+        "asgi": {"version": "3.0"},
+        "http_version": "1.1",
+        "method": method.upper(),
+        "scheme": "http",
+        "path": path,
+        "raw_path": path.encode("latin-1"),
+        "query_string": query.encode("latin-1"),
+        "headers": headers,
+        "server": None,
+        "client": None,
+    }
+    return scope, body
+
+
+async def _handle(app, reader, writer) -> None:
+    try:
+        try:
+            scope, body = await _read_request(reader)
+        except (asyncio.IncompleteReadError, ValueError):
+            return
+
+        request_messages = [
+            {"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if request_messages:
+                return request_messages.pop(0)
+            while True:  # one request per connection: further bytes are
+                chunk = await reader.read(4096)  # ignored, EOF = hangup
+                if not chunk:
+                    return {"type": "http.disconnect"}
+
+        started = False
+
+        async def send(message):
+            nonlocal started
+            if message["type"] == "http.response.start":
+                status = message["status"]
+                reason = _REASONS.get(status, "Unknown")
+                head = [f"HTTP/1.1 {status} {reason}"]
+                head += [f"{name.decode('latin-1')}: {value.decode('latin-1')}"
+                         for name, value in message.get("headers", [])]
+                head.append("connection: close")
+                writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+                started = True
+            elif message["type"] == "http.response.body":
+                writer.write(message.get("body", b""))
+                await writer.drain()
+
+        try:
+            await app(scope, receive, send)
+        except Exception:
+            if not started:
+                writer.write(b"HTTP/1.1 500 Internal Server Error\r\n"
+                             b"content-length: 0\r\nconnection: close\r\n\r\n")
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _serve(app, host: str, port: int) -> None:
+    # run the lifespan protocol around the server exactly as a real
+    # ASGI server would (the job queue's worker pool lives in it)
+    to_app: asyncio.Queue = asyncio.Queue()
+    from_app: asyncio.Queue = asyncio.Queue()
+    lifespan = asyncio.ensure_future(
+        app({"type": "lifespan", "asgi": {"version": "3.0"}},
+            to_app.get, from_app.put))
+    await to_app.put({"type": "lifespan.startup"})
+    message = await from_app.get()
+    if message["type"] != "lifespan.startup.complete":
+        raise RuntimeError(f"app failed to start: {message}")
+
+    server = await asyncio.start_server(
+        lambda r, w: _handle(app, r, w), host, port)
+    addr = ", ".join(
+        "%s:%d" % sock.getsockname()[:2] for sock in server.sockets)
+    print(f"repro.serve listening on http://{addr} (stdlib bridge; "
+          "install uvicorn for a production-grade server)", flush=True)
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await to_app.put({"type": "lifespan.shutdown"})
+        await from_app.get()
+        await lifespan
+
+
+def run(app, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Serve ``app`` until interrupted (the ``repro serve`` fallback)."""
+    try:
+        asyncio.run(_serve(app, host, port))
+    except KeyboardInterrupt:
+        print("repro.serve stopped", flush=True)

@@ -1,0 +1,246 @@
+"""Synchronous job execution: facade workers + streaming + cancellation.
+
+The serve layer cannot call :func:`repro.facade.run_point` directly —
+it needs row-by-row metrics streaming and a cancellation point between
+buckets — so this module re-states each facade worker with those two
+hooks added.  Everything else is kept call-for-call identical, and the
+contract tests (``tests/test_serve_contract.py``) pin the consequence:
+for any point, the record produced here is **byte-identical**
+(:func:`~repro.runplan.cache.canonical_record_json`) to the offline
+facade worker's.  That identity is what makes the shared
+:class:`~repro.runplan.cache.ResultCache` safe — a record cached by a
+CLI sweep replays verbatim over HTTP and vice versa.
+
+Why the identity holds despite the extra machinery:
+
+* attaching a :class:`~repro.metrics.hub.MetricsHub` never changes what
+  a simulation records (the PR-4 observation-only guarantee);
+* advancing the engine in bucket-sized chunks is cycle-for-cycle
+  identical to one long ``run()`` (the timing wheel holds no state
+  across ``run`` boundaries and fast-forward clamps to the limit);
+* cancellation is *cooperative* — checked between chunks, never
+  interrupting one — so an uncancelled run takes the exact same steps.
+
+Every window additionally self-checks flow conservation
+(``injected == delivered + Δin_flight``, satellite of PR 6): a tripped
+check raises :class:`FlowConservationError` and the job is marked
+failed rather than returning silently-wrong numbers.
+"""
+
+from __future__ import annotations
+
+from repro.facade import point_record, session
+from repro.metrics.hub import MetricsHub
+from repro.metrics.statistics import recovery_time
+from repro.runplan.aggregate import aggregate_replicas
+from repro.runplan.runner import labeled_record
+from repro.runplan.spec import RunPoint
+from repro.traffic.patterns import pattern_by_name
+from repro.traffic.processes import BurstTraffic
+
+
+class JobCancelled(Exception):
+    """Raised inside a worker when the job's cancel event is set."""
+
+
+class FlowConservationError(Exception):
+    """A measurement window lost or invented packets.
+
+    ``report`` is the failing
+    :meth:`repro.metrics.hub.MetricsHub.verify` dict.
+    """
+
+    def __init__(self, report: dict) -> None:
+        self.report = report
+        super().__init__(
+            "flow conservation violated: injected={injected} delivered="
+            "{delivered} in_flight={in_flight} (expected {expected_in_flight}"
+            ")".format(**report))
+
+
+def stream_meta(point: RunPoint) -> dict:
+    """Extra meta-row fields identifying the point a stream belongs to."""
+    return {
+        "point": point.key(),
+        "kind": point.kind,
+        "pattern": point.pattern,
+        "load": point.load,
+        "config_hash": point.config.content_hash(),
+    }
+
+
+def _check(cancelled) -> None:
+    if cancelled is not None and cancelled.is_set():
+        raise JobCancelled("job cancelled")
+
+
+def _guard(emit, cancelled):
+    """Wrap ``emit`` so every bucket boundary is a cancellation point."""
+    def guarded(row: dict) -> None:
+        _check(cancelled)
+        emit(row)
+    return guarded
+
+
+def _chunked_warmup(s, cycles: int, bucket: int, cancelled) -> None:
+    """``Session.warmup(cycles)`` in bucket-sized chunks (cancellable).
+
+    Chunked runs are cycle-identical to one long run, so the post-warmup
+    state — and therefore the measured record — matches the facade's
+    blind ``warmup()`` exactly.
+    """
+    end = s.now + cycles
+    while s.now < end:
+        _check(cancelled)
+        s.run(min(bucket, end - s.now))
+    s.reset()
+
+
+def _check_conservation(report: dict | None) -> None:
+    if report is not None and not report["ok"]:
+        raise FlowConservationError(report)
+
+
+def _steady_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
+    """Mirror of :func:`repro.facade.run_point`, streaming the window."""
+    s = session(point.config, pattern=point.pattern, load=point.load)
+    if point.steady:
+        s.warmup_until_steady(max_cycles=point.warmup)
+        _check(cancelled)
+    else:
+        _chunked_warmup(s, point.warmup, bucket, cancelled)
+    sr = s.measure_series(point.measure, bucket=bucket,
+                          emit=_guard(emit, cancelled),
+                          meta=stream_meta(point))
+    _check_conservation(sr.verify)
+    rec = point_record(sr.result, point.config, pattern=point.pattern,
+                       load=point.load)
+    if point.steady:
+        rec["warmup_cycles"] = s.auto_warmup["cycles"]
+        rec["warmup_steady"] = s.auto_warmup["steady"]
+    return rec
+
+
+def _transient_streamed(point: RunPoint, emit, cancelled) -> dict:
+    """Mirror of :func:`repro.facade.run_transient`, streaming the window.
+
+    The bucket is the *point's* (default 250, exactly as the run-plan
+    dispatcher resolves it) because for transient records the bucket is
+    part of the measurement, not just the stream resolution — using the
+    service default here would poison the shared cache with records
+    that differ from offline runs of the same point key.
+    """
+    bucket = point.bucket or 250
+    s = session(point.config, pattern=point.pattern, load=point.load)
+    s.warmup_until_steady(bucket=bucket, max_cycles=point.warmup)
+    _check(cancelled)
+    baseline = s.auto_warmup["steady_throughput"]
+    sim = s.sim
+    burst_pattern = pattern_by_name(point.pattern, sim.topo)
+    BurstTraffic(burst_pattern, point.packets_per_node).inject(sim, sim.now)
+    sr = s.measure_series(point.measure, bucket=bucket, latencies=True,
+                          emit=_guard(emit, cancelled),
+                          meta=stream_meta(point))
+    _check_conservation(sr.verify)
+    recovery = recovery_time(sr.series["throughput"], baseline,
+                             bucket=bucket, rel_tolerance=0.15, hold=3)
+    rec = point_record(sr.result, point.config, pattern=point.pattern,
+                       load=point.load,
+                       packets_per_node=point.packets_per_node)
+    rec.update(
+        kind="transient",
+        bucket=bucket,
+        warmup_cycles=s.auto_warmup["cycles"],
+        warmup_steady=s.auto_warmup["steady"],
+        baseline_throughput=baseline,
+        recovered=recovery is not None,
+        recovery_cycles=point.measure if recovery is None else recovery,
+        throughput_series=sr.series["throughput"],
+        latency_series=sr.series["latency_mean"],
+    )
+    return rec
+
+
+def _drain_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
+    """Mirror of :func:`repro.facade.run_drain`, rows emitted on completion.
+
+    A drain run has no end cycle known up front (the meta row needs
+    one), so the row stream is emitted in one piece once the fabric is
+    empty rather than live; ``max_cycles`` bounds the wait.  For the
+    same reason cancellation takes effect only before the drain starts —
+    the drain itself must be the facade's single
+    ``run_until_drained`` call to keep ``drain_cycles`` byte-identical.
+    """
+    _check(cancelled)
+    s = session(point.config)
+    pattern = pattern_by_name(point.pattern, s.sim.topo)
+    s.with_traffic(BurstTraffic(pattern, point.packets_per_node))
+    hub = MetricsHub(s.sim, bucket=bucket, latencies=True)
+    try:
+        result = s.drain(point.max_cycles or 1_000_000)
+        _check_conservation(hub.verify())
+        for row in hub.records(s.now, stream_meta(point)):
+            emit(row)
+    finally:
+        hub.detach()
+    return point_record(result, point.config, pattern=point.pattern,
+                        packets_per_node=point.packets_per_node)
+
+
+def execute_point_streamed(point: RunPoint, emit, *, bucket: int = 250,
+                           cancelled=None) -> dict:
+    """One point's raw record, streaming metrics rows through ``emit``.
+
+    The serve-side twin of :func:`repro.runplan.runner.execute_point`:
+    same dispatch, same record bytes, plus ``emit(row)`` per
+    meta/bucket/summary row and a cooperative ``cancelled``
+    (``threading.Event``) checked at bucket boundaries.  ``bucket`` is
+    the stream resolution for kinds where it does not shape the record
+    (steady, drain); a point's own ``bucket`` always wins.
+    """
+    if point.kind == "drain":
+        return _drain_streamed(point, emit, point.bucket or bucket, cancelled)
+    if point.kind == "transient":
+        return _transient_streamed(point, emit, cancelled)
+    return _steady_streamed(point, emit, point.bucket or bucket, cancelled)
+
+
+def run_submission(submission, *, cache=None, default_bucket: int = 250,
+                   cancelled=None, emit=None) -> dict:
+    """Execute a whole submission synchronously; the worker-thread entry.
+
+    Consults ``cache`` per point (hits replay verbatim and stream no
+    rows — their rows were streamed when the record was first computed),
+    stores fresh records, labels every record through
+    :func:`~repro.runplan.runner.labeled_record`, and collapses seed
+    replicas when the submission asked to aggregate.  The result
+    payload reports how many points actually ran (``executed_points``)
+    versus replayed (``cached_points``) — the dedupe and cache tests
+    assert on these counters.
+    """
+    if emit is None:
+        def emit(row):
+            return None
+    records = []
+    executed = cached = 0
+    for point in submission.points:
+        _check(cancelled)
+        hit = cache.get(point) if cache is not None else None
+        if hit is None:
+            rec = execute_point_streamed(point, emit, bucket=default_bucket,
+                                         cancelled=cancelled)
+            if cache is not None:
+                cache.put(point, rec)
+            executed += 1
+        else:
+            rec = hit
+            cached += 1
+        records.append(labeled_record(point, rec))
+    if submission.aggregate:
+        records = aggregate_replicas(records)
+    return {
+        "records": records,
+        "aggregated": submission.aggregate,
+        "executed_points": executed,
+        "cached_points": cached,
+    }

@@ -1,0 +1,85 @@
+"""Service configuration: every serve knob, bounds-checked on construction.
+
+Validation follows the topology-validator style — each violated bound
+raises ``ValueError`` with the offending value and what would fix it,
+so ``repro serve --workers 0`` fails with an actionable message before
+a socket is ever bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServeSettings:
+    """All knobs of one service instance (see ``docs/SERVICE.md``).
+
+    ``cache_dir`` — directory of the shared persistent content-addressed
+    :class:`~repro.runplan.cache.ResultCache`; ``None`` keeps results
+    in memory only (dedupe still works, but nothing survives a restart
+    and ``GET /v1/results/{hash}`` only sees what this process ran).
+    ``workers`` — simulation worker threads; each runs one job at a
+    time, so at most ``workers`` simulations are in flight.
+    ``queue_limit`` — jobs allowed to *wait*; a new submission beyond it
+    is rejected with HTTP 429 and ``Retry-After: retry_after`` seconds.
+    ``job_timeout`` — wall-clock seconds per job before it is cancelled
+    and marked failed (cancellation lands at the next bucket boundary).
+    ``bucket`` — default stream resolution in cycles for points that do
+    not set their own ``bucket``.
+    ``max_points`` — cap on how many run points one submission may
+    expand to (a full RunSpec grid times its seed replicas).
+    ``keep_jobs`` — finished jobs retained in memory for status/stream
+    replay before the oldest are evicted.
+    """
+
+    cache_dir: str | None = None
+    workers: int = 2
+    queue_limit: int = 64
+    job_timeout: float = 300.0
+    retry_after: int = 2
+    bucket: int = 250
+    max_points: int = 512
+    keep_jobs: int = 256
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.workers <= 64:
+            raise ValueError(
+                f"workers must be between 1 and 64 (got {self.workers}): "
+                "the pool needs at least one simulation worker, and each "
+                "worker is a CPU-bound thread — size it to the machine's "
+                "cores, not the request rate"
+            )
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1 (got {self.queue_limit}): with "
+                "no waiting room every submission beyond the running jobs "
+                "would be rejected with 429"
+            )
+        if not self.job_timeout > 0:
+            raise ValueError(
+                f"job_timeout must be positive seconds (got "
+                f"{self.job_timeout}); raise it for paper-scale points "
+                "instead of disabling it"
+            )
+        if self.retry_after < 1:
+            raise ValueError(
+                f"retry_after must be >= 1 second (got {self.retry_after}): "
+                "it is sent verbatim in the 429 Retry-After header"
+            )
+        if self.bucket < 1:
+            raise ValueError(
+                f"bucket must be a positive cycle count (got {self.bucket}); "
+                "it sets the stream's time-series resolution"
+            )
+        if self.max_points < 1:
+            raise ValueError(
+                f"max_points must be >= 1 (got {self.max_points}): a "
+                "submission expands to at least one run point"
+            )
+        if self.keep_jobs < 1:
+            raise ValueError(
+                f"keep_jobs must be >= 1 (got {self.keep_jobs}): finished "
+                "jobs must stay addressable at least until their status "
+                "is read"
+            )

@@ -1,0 +1,140 @@
+"""In-process ASGI client: drive the app with no socket and no server.
+
+CI and the test suite exercise the full HTTP surface — lifespan,
+routing, chunked streaming, disconnects — by calling the ASGI app
+directly::
+
+    app = create_app(ServeSettings(workers=1))
+    async with Client(app) as client:
+        resp = await client.post("/v1/jobs", json_body={...})
+        job = resp.json()["job"]
+        stream = await client.get(f"/v1/jobs/{job}/stream")
+
+``Client.__aenter__`` runs the app's lifespan startup (spawning the
+job queue's worker pool on the current loop) and ``__aexit__`` its
+shutdown, exactly as an ASGI server would.  ``request()`` performs one
+request to completion — for a stream route that means it returns once
+the job finishes and the stream closes, with the whole JSONL body
+assembled.  Pass ``disconnect`` (an ``asyncio.Event``) to simulate the
+client hanging up mid-stream: once set, the app sees
+``http.disconnect`` on its receive channel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Response:
+    """One completed HTTP exchange."""
+
+    status: int
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def text(self) -> str:
+        return self.body.decode()
+
+    def json(self):
+        return json.loads(self.body)
+
+    def jsonl(self) -> list[dict]:
+        """The body parsed as JSONL (one object per non-empty line)."""
+        return [json.loads(line) for line in self.text.splitlines() if line]
+
+
+class Client:
+    """Async context manager driving one ASGI app in-process."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self._to_app: asyncio.Queue | None = None
+        self._from_app: asyncio.Queue | None = None
+        self._lifespan: asyncio.Task | None = None
+
+    async def __aenter__(self) -> "Client":
+        self._to_app = asyncio.Queue()
+        self._from_app = asyncio.Queue()
+        scope = {"type": "lifespan", "asgi": {"version": "3.0"}}
+        self._lifespan = asyncio.create_task(
+            self.app(scope, self._to_app.get, self._from_app.put))
+        await self._to_app.put({"type": "lifespan.startup"})
+        message = await self._from_app.get()
+        if message["type"] != "lifespan.startup.complete":
+            raise RuntimeError(f"lifespan startup failed: {message}")
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self._to_app.put({"type": "lifespan.shutdown"})
+        message = await self._from_app.get()
+        if message["type"] != "lifespan.shutdown.complete":  # pragma: no cover
+            raise RuntimeError(f"lifespan shutdown failed: {message}")
+        await self._lifespan
+
+    async def request(self, method: str, path: str, json_body=None, *,
+                      disconnect: asyncio.Event | None = None) -> Response:
+        """Run one request through the app and assemble the response.
+
+        ``disconnect`` simulates the client closing the connection:
+        after the request body is delivered, the app's next ``receive``
+        blocks until the event is set and then yields
+        ``http.disconnect`` (without it, ``receive`` blocks forever —
+        the server-side idiom for a client that stays connected).
+        """
+        body = b"" if json_body is None else json.dumps(json_body).encode()
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "scheme": "http",
+            "path": path,
+            "raw_path": path.encode(),
+            "query_string": b"",
+            "headers": [(b"content-type", b"application/json"),
+                        (b"content-length", str(len(body)).encode())],
+            "server": ("testclient", 80),
+            "client": ("testclient", 1),
+        }
+        request_messages = [
+            {"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if request_messages:
+                return request_messages.pop(0)
+            if disconnect is not None:
+                await disconnect.wait()
+                return {"type": "http.disconnect"}
+            await asyncio.Event().wait()  # stay connected forever
+
+        sent: list[dict] = []
+
+        async def send(message):
+            sent.append(message)
+
+        await self.app(scope, receive, send)
+        response = Response(status=500)
+        chunks = []
+        for message in sent:
+            if message["type"] == "http.response.start":
+                response.status = message["status"]
+                response.headers = {
+                    name.decode(): value.decode()
+                    for name, value in message.get("headers", [])}
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+        response.body = b"".join(chunks)
+        return response
+
+    async def get(self, path: str, **kw) -> Response:
+        return await self.request("GET", path, **kw)
+
+    async def post(self, path: str, json_body=None, **kw) -> Response:
+        return await self.request("POST", path, json_body, **kw)
+
+    async def delete(self, path: str, **kw) -> Response:
+        return await self.request("DELETE", path, **kw)

@@ -1,0 +1,101 @@
+"""ResultCache atomicity: readers never observe a torn record.
+
+``ResultCache.put`` writes to a uniquely-named temp file in the cache
+directory and publishes it with an atomic rename.  With the serve
+layer's worker threads and offline process pools sharing one cache
+directory, a reader racing any writer must see either a clean miss or
+a complete record — never partial JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from repro.network.config import SimConfig
+from repro.runplan.cache import ResultCache
+from repro.runplan.spec import RunPoint
+
+
+def mk_point(seed: int = 1, load: float = 0.2) -> RunPoint:
+    return RunPoint(config=SimConfig(h=1, seed=seed), pattern="uniform",
+                    load=load, warmup=100, measure=100)
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    for seed in range(5):
+        cache.put(mk_point(seed=seed + 1), {"seed": seed + 1})
+    assert len(cache) == 5
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_record_invisible_until_rename(tmp_path, monkeypatch):
+    """Mid-write (temp file fully written, not yet renamed) a reader
+    must see the previous state: a miss the first time, the old record
+    on overwrite."""
+    cache = ResultCache(tmp_path)
+    point = mk_point()
+    observed = []
+    real_replace = Path.replace
+
+    def spying_replace(self, target):
+        if str(target).endswith(".json"):
+            observed.append(cache.get_record(point.key()))
+        return real_replace(self, target)
+
+    monkeypatch.setattr(Path, "replace", spying_replace)
+    cache.put(point, {"version": 1})
+    cache.put(point, {"version": 2})
+    assert observed == [None, {"version": 1}]
+    assert cache.get_record(point.key()) == {"version": 2}
+
+
+def test_concurrent_writers_and_readers_never_tear(tmp_path):
+    """Hammer one key from several writer threads while a reader spins:
+    every read is a clean miss or a complete record (per-thread temp
+    names keep writers from clobbering each other's files)."""
+    cache = ResultCache(tmp_path)
+    point = mk_point()
+    record = {"payload": list(range(200)), "tag": "x" * 500}
+    stop = threading.Event()
+    bad: list[object] = []
+
+    def writer():
+        reader_cache = ResultCache(tmp_path)
+        for _ in range(150):
+            reader_cache.put(point, record)
+
+    def reader():
+        reader_cache = ResultCache(tmp_path)
+        while not stop.is_set():
+            got = reader_cache.get_record(point.key())
+            if got is not None and got != record:
+                bad.append(got)  # torn or partial read
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    for t in readers + writers:
+        t.start()
+    for t in writers:
+        t.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert bad == []
+    assert cache.get_record(point.key()) == record
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_get_record_by_raw_hash(tmp_path):
+    """The serve layer's /v1/results path: raw-hash lookup, no stats."""
+    cache = ResultCache(tmp_path)
+    point = mk_point()
+    cache.put(point, {"throughput": 0.5})
+    assert cache.get_record(point.key()) == {"throughput": 0.5}
+    assert cache.get_record("0" * 64) is None
+    assert cache.hits == 0 and cache.misses == 0  # raw lookups: uncounted
+    assert cache.get(point) == {"throughput": 0.5}
+    assert cache.hits == 1  # point lookups still count

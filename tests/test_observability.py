@@ -306,6 +306,53 @@ def test_measure_series_pairs_result_and_series():
         jsonl_line(row)
 
 
+def test_hub_verify_flow_conservation_holds():
+    sim = Simulator(SimConfig(h=2, routing="olm", seed=4),
+                    BernoulliTraffic(UniformRandom(), 0.3))
+    sim.run(700)  # attach mid-flight: the window baseline is non-zero
+    hub = MetricsHub(sim, bucket=100)
+    assert hub._inflight_at_window_start == sim.packets_in_flight
+    sim.run(1500)
+    report = hub.verify()
+    assert report["ok"], report
+    assert report["in_flight"] == (report["in_flight_at_window_start"]
+                                   + report["injected"] - report["delivered"])
+    assert report["injected"] > 0 and report["delivered"] > 0
+
+
+def test_hub_verify_detects_imbalance():
+    sim = Simulator(SimConfig(h=2, routing="olm", seed=4),
+                    BernoulliTraffic(UniformRandom(), 0.3))
+    hub = MetricsHub(sim, bucket=100)
+    sim.run(800)
+    hub.injected += 1  # simulate a lost packet
+    report = hub.verify()
+    assert not report["ok"]
+    assert report["expected_in_flight"] == report["in_flight"] + 1
+
+
+def test_measure_series_emit_streams_the_exact_records():
+    """Rows pushed live through ``emit`` == the batch records, in order,
+    and the result carries the window's conservation report."""
+    def run(emit):
+        s = session(SimConfig(h=2, routing="olm", seed=6),
+                    pattern="uniform", load=0.25).warmup(600)
+        return s.measure_series(1000, bucket=250, emit=emit,
+                                meta={"tag": "live"})
+
+    streamed: list[dict] = []
+    sr = run(streamed.append)
+    assert streamed == list(sr.records)
+    assert streamed[0]["tag"] == "live"
+    assert [r["type"] for r in streamed] == ["meta"] + ["bucket"] * 4 + ["summary"]
+    assert sr.verify is not None and sr.verify["ok"]
+    # emit raising aborts the window (the serve layer cancels this way)
+    def bomb(row):
+        raise RuntimeError("cancelled")
+    with pytest.raises(RuntimeError, match="cancelled"):
+        run(bomb)
+
+
 def test_session_latency_recorder_is_tap_based():
     s = session(SimConfig(h=2, routing="minimal", seed=3),
                 pattern="uniform", load=0.2)

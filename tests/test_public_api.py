@@ -50,6 +50,14 @@ PUBLIC_MODULES = [
     "repro.runplan.cache",
     "repro.runplan.aggregate",
     "repro.runplan.runner",
+    "repro.serve",
+    "repro.serve.app",
+    "repro.serve.jobs",
+    "repro.serve.protocol",
+    "repro.serve.runner",
+    "repro.serve.settings",
+    "repro.serve.httpd",
+    "repro.serve.testclient",
     "repro.analysis",
     "repro.analysis.bounds",
     "repro.analysis.cdg",

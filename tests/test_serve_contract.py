@@ -1,0 +1,207 @@
+"""Serve determinism contracts, proven against real simulations.
+
+The service is only trustworthy if going through HTTP changes nothing:
+
+* a record computed by the service is **byte-identical** (canonical
+  JSON) to the same point run through the offline facade workers, for
+  every point kind;
+* the live-streamed JSONL equals an offline ``MetricsHub`` export of
+  the same window, byte for byte;
+* N concurrent identical submissions execute the simulation exactly
+  once (content-hash dedupe), and every subscriber reads the same
+  bytes;
+* a persistent cache directory replays records across service
+  restarts without re-simulating.
+
+Sims here are tiny (h=1) but real; the fast queue-semantics tests live
+in ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.facade import run_drain, run_point, run_transient, session
+from repro.metrics.hub import jsonl_line, strict_jsonable
+from repro.network.config import SimConfig
+from repro.runplan.cache import canonical_record_json
+from repro.serve import ServeSettings, create_app, parse_submission, stream_meta
+from repro.serve import runner as serve_runner
+from repro.serve.testclient import Client
+
+CONFIG = {"h": 1, "seed": 11}
+
+STEADY = {"config": CONFIG, "pattern": "uniform", "load": 0.25,
+          "warmup": 400, "measure": 600, "bucket": 150}
+
+TRANSIENT = {"config": CONFIG, "pattern": "uniform", "kind": "transient",
+             "load": 0.15, "packets_per_node": 2, "warmup": 2000,
+             "measure": 1200, "bucket": 100}
+
+DRAIN = {"config": CONFIG, "pattern": "uniform", "kind": "drain",
+         "packets_per_node": 2, "max_cycles": 50_000}
+
+
+def canonical(record: dict) -> str:
+    return canonical_record_json(strict_jsonable(record))
+
+
+def run_job(payload, settings=None):
+    """Submit one job, await completion, return (status_body, stream_body)."""
+    async def main():
+        app = create_app(settings or ServeSettings(workers=1, bucket=150))
+        async with Client(app) as client:
+            resp = await client.post("/v1/jobs", json_body=payload)
+            assert resp.status == 202, resp.text
+            job_id = resp.json()["job"]
+            stream = await client.get(f"/v1/jobs/{job_id}/stream")
+            status = await client.get(f"/v1/jobs/{job_id}")
+            return status.json(), stream.text
+    return asyncio.run(main())
+
+
+# ------------------------------------------------------- record byte-identity
+def test_steady_record_matches_offline_facade():
+    body, _ = run_job(STEADY)
+    assert body["state"] == "done", body
+    offline = run_point(SimConfig(**CONFIG), "uniform", 0.25, 400, 600)
+    [served] = body["result"]["records"]
+    assert canonical_record_json(served) == canonical(offline)
+
+
+def test_steady_autowarmup_record_matches_offline_facade():
+    body, _ = run_job({**STEADY, "steady": True})
+    offline = run_point(SimConfig(**CONFIG), "uniform", 0.25, 400, 600,
+                        steady=True)
+    [served] = body["result"]["records"]
+    assert canonical_record_json(served) == canonical(offline)
+
+
+def test_transient_record_matches_offline_facade():
+    body, _ = run_job(TRANSIENT)
+    assert body["state"] == "done", body
+    offline = run_transient(SimConfig(**CONFIG), "uniform", 0.15, 2, 2000,
+                            1200, bucket=100)
+    [served] = body["result"]["records"]
+    assert canonical_record_json(served) == canonical(offline)
+
+
+def test_drain_record_matches_offline_facade():
+    body, stream = run_job(DRAIN)
+    assert body["state"] == "done", body
+    offline = run_drain(SimConfig(**CONFIG), "uniform", 2, 50_000)
+    [served] = body["result"]["records"]
+    assert canonical_record_json(served) == canonical(offline)
+    # drain streams its rows at completion; the window covers the drain
+    rows = [line for line in stream.splitlines() if line]
+    assert rows, "drain job produced no metrics rows"
+
+
+# ------------------------------------------------------- stream byte-identity
+def test_streamed_jsonl_equals_offline_hub_export():
+    """The live chunked stream == a batch MetricsHub export, byte for byte."""
+    body, stream = run_job(STEADY)
+    assert body["state"] == "done"
+    [point] = parse_submission(STEADY).points
+    s = session(SimConfig(**CONFIG), pattern="uniform", load=0.25)
+    s.warmup(400)  # one blind run; the service warms up in chunks
+    sr = s.measure_series(600, bucket=150, meta=stream_meta(point))
+    expected = "".join(jsonl_line(row) + "\n" for row in sr.records)
+    assert stream == expected
+
+
+# ----------------------------------------------------------------- the dedupe
+def test_concurrent_identical_submissions_execute_once(monkeypatch):
+    """Acceptance: N concurrent identical submissions -> ONE simulation."""
+    executed = []
+    real = serve_runner.execute_point_streamed
+
+    def counting(point, emit, **kw):
+        executed.append(point.key())
+        return real(point, emit, **kw)
+
+    monkeypatch.setattr(serve_runner, "execute_point_streamed", counting)
+
+    async def main():
+        app = create_app(ServeSettings(workers=2, bucket=150))
+        async with Client(app) as client:
+            posts = await asyncio.gather(*(
+                client.post("/v1/jobs", json_body=dict(STEADY))
+                for _ in range(5)))
+            ids = [p.json()["job"] for p in posts]
+            assert len(set(ids)) == 1, "identical submissions must coalesce"
+            assert sum(p.json()["deduped"] for p in posts) == 4
+            # a *different* point stays independent
+            other = await client.post(
+                "/v1/jobs", json_body={**STEADY, "load": 0.3})
+            assert other.json()["job"] not in ids
+            streams = await asyncio.gather(*(
+                client.get(f"/v1/jobs/{ids[0]}/stream") for _ in range(5)))
+            status = (await client.get(f"/v1/jobs/{ids[0]}")).json()
+            # a stream request returns only once its job finished
+            await client.get(f"/v1/jobs/{other.json()['job']}/stream")
+            other_status = (await client.get(
+                f"/v1/jobs/{other.json()['job']}")).json()
+            return streams, status, other_status
+
+    streams, status, other_status = asyncio.run(main())
+    bodies = {s.body for s in streams}
+    assert len(bodies) == 1, "every subscriber must read the same bytes"
+    assert status["state"] == "done"
+    assert status["result"]["executed_points"] == 1
+    assert other_status["state"] == "done"
+    # exactly two distinct simulations ran in total: the shared one + other
+    assert len(executed) == 2 and len(set(executed)) == 2
+
+
+def test_persistent_cache_replays_across_restarts(tmp_path):
+    """Same cache dir, fresh service: the record replays, nothing re-runs."""
+    cache_dir = str(tmp_path / "cache")
+    first, _ = run_job(STEADY, ServeSettings(workers=1, cache_dir=cache_dir))
+    assert first["result"]["executed_points"] == 1
+    second, stream = run_job(
+        STEADY, ServeSettings(workers=1, cache_dir=cache_dir))
+    assert second["result"]["executed_points"] == 0
+    assert second["result"]["cached_points"] == 1
+    assert (canonical_record_json(second["result"]["records"][0])
+            == canonical_record_json(first["result"]["records"][0]))
+    assert stream == ""  # replayed records stream no new rows
+
+
+def test_results_endpoint_serves_cache_hits_without_queue(tmp_path):
+    async def main():
+        settings = ServeSettings(workers=1,
+                                 cache_dir=str(tmp_path / "cache"))
+        app = create_app(settings)
+        [point] = parse_submission(STEADY).points
+        async with Client(app) as client:
+            job = (await client.post(
+                "/v1/jobs", json_body=STEADY)).json()["job"]
+            while (await client.get(f"/v1/jobs/{job}")).json()["state"] != "done":
+                await asyncio.sleep(0.01)
+            hit = await client.get(f"/v1/results/{point.key()}")
+            jobs_before = (await client.get("/v1/stats")).json()["jobs_total"]
+            assert hit.status == 200
+            assert hit.json()["record"]["seed"] == 11
+            jobs_after = (await client.get("/v1/stats")).json()["jobs_total"]
+            assert jobs_after == jobs_before  # no job was created
+    asyncio.run(main())
+
+
+def test_flow_conservation_gate_fails_job_on_real_sim(monkeypatch):
+    """Force the hub's verify() to report a violation: the job must fail."""
+    from repro.metrics import hub as hub_mod
+
+    real_verify = hub_mod.MetricsHub.verify
+
+    def lying_verify(self):
+        report = real_verify(self)
+        report["ok"] = False
+        report["injected"] += 1  # simulate a lost packet
+        return report
+
+    monkeypatch.setattr(hub_mod.MetricsHub, "verify", lying_verify)
+    body, _ = run_job(STEADY)
+    assert body["state"] == "failed"
+    assert body["error"]["type"] == "flow_conservation"
+    assert "flow conservation violated" in body["error"]["message"]

@@ -1,0 +1,85 @@
+"""CI smoke for the simulation service: the serve contracts, end to end.
+
+Runs the ASGI app fully in-process (no socket, no server dependency)
+against one sparse steady-state point and asserts the three serve
+contracts:
+
+1. the streamed JSONL equals an offline ``MetricsHub`` export of the
+   same window, byte for byte;
+2. the HTTP result record equals a direct facade run (canonical JSON);
+3. N concurrent identical submissions coalesce onto ONE execution and
+   every subscriber reads identical bytes.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.facade import run_point, session
+from repro.metrics.hub import jsonl_line, strict_jsonable
+from repro.network.config import SimConfig
+from repro.runplan.cache import canonical_record_json
+from repro.serve import ServeSettings, create_app, parse_submission, stream_meta
+from repro.serve.testclient import Client
+
+CONFIG = {"h": 1, "seed": 13}
+PAYLOAD = {"config": CONFIG, "pattern": "uniform", "load": 0.2,
+           "warmup": 300, "measure": 600, "bucket": 150}
+SUBSCRIBERS = 4
+
+
+async def smoke() -> None:
+    app = create_app(ServeSettings(workers=2))
+    async with Client(app) as client:
+        posts = await asyncio.gather(*(
+            client.post("/v1/jobs", json_body=dict(PAYLOAD))
+            for _ in range(SUBSCRIBERS)))
+        ids = {p.json()["job"] for p in posts}
+        assert len(ids) == 1, f"dedupe failed: {len(ids)} jobs for one payload"
+        job_id = ids.pop()
+
+        streams = await asyncio.gather(*(
+            client.get(f"/v1/jobs/{job_id}/stream")
+            for _ in range(SUBSCRIBERS)))
+        bodies = {s.body for s in streams}
+        assert len(bodies) == 1, "subscribers read different stream bytes"
+
+        status = (await client.get(f"/v1/jobs/{job_id}")).json()
+        assert status["state"] == "done", status
+        assert status["result"]["executed_points"] == 1, status["result"]
+        [served] = status["result"]["records"]
+
+    # contract 1: streamed JSONL == offline MetricsHub export
+    [point] = parse_submission(PAYLOAD).points
+    s = session(SimConfig(**CONFIG), pattern="uniform", load=0.2)
+    s.warmup(300)
+    sr = s.measure_series(600, bucket=150, meta=stream_meta(point))
+    offline_jsonl = "".join(jsonl_line(row) + "\n" for row in sr.records)
+    streamed = bodies.pop().decode()
+    assert streamed == offline_jsonl, "stream bytes != offline hub export"
+
+    # contract 2: HTTP record == direct facade run
+    offline_record = strict_jsonable(
+        run_point(SimConfig(**CONFIG), "uniform", 0.2, 300, 600))
+    assert (canonical_record_json(served)
+            == canonical_record_json(offline_record)), \
+        "served record != offline facade record"
+
+    rows = streamed.count("\n")
+    print(f"serve smoke OK: {SUBSCRIBERS} identical submissions -> "
+          f"1 execution, {rows} streamed rows byte-identical to the "
+          "offline export, record byte-identical to the facade")
+
+
+def main() -> int:
+    asyncio.run(smoke())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
