@@ -72,6 +72,12 @@ class RoutingAlgorithm(abc.ABC):
     requires_vct = False
     #: capability flags the fabric must provide (checked at construction)
     required_caps: frozenset = frozenset()
+    #: True when the mechanism's paths are a pure function of injection
+    #: state (no in-transit adaptivity, no RNG draws, no per-cycle hook),
+    #: which licenses the array engine's precomputed-route hot path
+    #: (:mod:`repro.network.arraysim`); adaptive mechanisms stay False
+    #: and run on the wheel path
+    array_core = False
 
     def __init__(self, topo: Topology, config, trigger: MisroutingTrigger, rng) -> None:
         self.topo = topo

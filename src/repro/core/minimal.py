@@ -23,6 +23,9 @@ class MinimalRouting(RoutingAlgorithm):
     name = "minimal"
     local_vcs = 3
     global_vcs = 2
+    #: deterministic and oblivious: the whole path is fixed at injection,
+    #: so the array engine may precompute it (see arraysim.py)
+    array_core = True
 
     def decide(self, router, packet, now, flit):
         out, kind, target, vc = self.minimal_hop(router, packet)

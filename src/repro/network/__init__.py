@@ -6,12 +6,21 @@ same router architecture as the paper's in-house simulator.
 """
 
 from repro.network.arbitration import Arbiter, RoundRobinArbiter, RandomArbiter, AgeArbiter
+from repro.network.arraysim import ArraySimulator
 from repro.network.config import SimConfig
 from repro.network.flowcontrol import FlowControl, VirtualCutThrough, Wormhole, flow_control_by_name
 from repro.network.packet import Packet, Flit
 from repro.network.simulator import Simulator, DeadlockError, build_simulator
 from repro.network.taps import TAP_EVENTS, Tap
-from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY
+from repro.registry import ARBITER_REGISTRY, ENGINE_REGISTRY, FLOW_CONTROL_REGISTRY
+
+# the frozen seed engine registers here (its module must stay untouched)
+if "reference" not in ENGINE_REGISTRY:
+    from repro.network.reference import ReferenceSimulator
+
+    ENGINE_REGISTRY.register(
+        "reference", ReferenceSimulator,
+        description="frozen seed engine (fidelity baseline, slow)")
 
 __all__ = [
     "SimConfig",
@@ -28,8 +37,10 @@ __all__ = [
     "Packet",
     "Flit",
     "Simulator",
+    "ArraySimulator",
     "DeadlockError",
     "build_simulator",
+    "ENGINE_REGISTRY",
     "Tap",
     "TAP_EVENTS",
 ]

@@ -1,0 +1,944 @@
+"""Array-core engine: numpy structure-of-arrays cycle simulator.
+
+The wheel engine (:class:`~repro.network.simulator.Simulator`) spends
+its saturated-traffic cycles in per-flit Python object traversal:
+every buffered input port is visited, every candidate VC scanned, and
+every grant mutates a half-dozen heap objects.  This backend flattens
+all router/port/VC state into numpy structure-of-arrays and runs each
+cycle's arrival/credit/allocation/grant phases as batched vectorized
+passes over *all* routers at once — the per-cycle cost becomes a fixed
+number of array kernels instead of O(buffered flits) interpreter work.
+
+**Determinism contract** — records are byte-identical to the wheel
+engine (and hence to the frozen seed engine), enforced over the golden
+matrix in ``tests/test_engine_equivalence.py``.  The equivalence rests
+on three facts about the wheel engine's cycle:
+
+1. *Allocation is a pure function of pre-cycle state.*  Within one
+   cycle the wheel computes every router's candidate selections before
+   applying that router's grants, and a grant at one router only
+   mutates its own ports and future wheel slots — never another
+   router's same-cycle candidates.  The whole cycle's winner set is
+   therefore order-free and can be computed in one batch.
+2. *Per-cycle event uniqueness.*  Link serialization separates sends
+   on one output by at least the flit size and the arrival delay is
+   monotone in it, so at most one flit arrives per (router, input
+   port) per cycle; each downstream input VC pops at most one flit per
+   cycle and maps to exactly one upstream output VC, so at most one
+   credit returns per output VC per cycle.  Batched FIFO pushes and
+   credit adds are therefore race-free.
+3. *Grant order is reproducible.*  The wheel grants in ascending
+   router id, then in requests-dict insertion order — i.e. by the flat
+   input-port id of each output's *first* requester.  The array engine
+   sorts its winners by exactly that key, so the few order-sensitive
+   effects (delivery-observer firing order, wheel-bucket append order
+   carried into a later :meth:`_materialize`) are preserved verbatim.
+
+**Eligibility** — the pure-array hot path needs routes that are a
+function of injection state alone: the routing class must declare
+``array_core = True`` (minimal routing does; adaptive mechanisms
+re-decide per cycle and consume RNG), arbitration must be ``rr`` or
+``age`` (``random`` draws from the routing RNG per conflict), flow
+control must be the built-in VCT/WH pair, and no per-cycle routing
+hook may exist.  Ineligible configurations silently run the inherited
+wheel path — same records, wheel speed.
+
+**Tap fallback** — eject-only taps (the Session's ``LatencyTap``) are
+delivery observers and keep the array path.  Attaching any tap with
+``on_inject``/``on_grant``/``on_credit``/``on_ring_entry`` (e.g. a
+:class:`~repro.metrics.hub.MetricsHub`) triggers a one-way
+:meth:`_materialize`: the array state is written back into the object
+routers mid-run and the simulation continues byte-identically on the
+inherited wheel path.  External reads of ``sim.routers`` materialize
+the same way, so introspection code sees ordinary object state.
+
+With ``record_hops`` the whole hop log is prefilled at injection (the
+route is known then); the delivered log is byte-identical, it just
+exists earlier than the wheel engine's grant-time appends.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+from repro.core.base import RoutingAlgorithm
+from repro.core.paritysign import link_type
+from repro.network.flowcontrol import VirtualCutThrough, Wormhole
+from repro.network.packet import Flit, Packet
+from repro.network.simulator import Simulator
+from repro.registry import ENGINE_REGISTRY
+from repro.topology import PortKind
+
+_EJECT = PortKind.EJECT
+_LOCAL = PortKind.LOCAL
+_GLOBAL = PortKind.GLOBAL
+
+
+def _grow(arr, needed: int, fill: int = 0):
+    """Return ``arr`` grown (amortized doubling) to hold ``needed`` items."""
+    cap = len(arr)
+    if needed <= cap:
+        return arr
+    new_cap = max(needed, cap * 2, 64)
+    out = _np.full(new_cap, fill, dtype=arr.dtype)
+    out[:cap] = arr
+    return out
+
+
+@ENGINE_REGISTRY.register(
+    "array", description="numpy structure-of-arrays core (fastest when saturated)")
+class ArraySimulator(Simulator):
+    """Structure-of-arrays engine backend (see module docstring).
+
+    Construction builds the ordinary object routers (they are the
+    fallback path and the materialization target); the array state is
+    built lazily at the first injection or step, once eligibility can
+    be judged against the fully-wired configuration and taps.
+    """
+
+    def __init__(self, config, traffic=None) -> None:
+        #: "undecided" until the first inject/step, then "array" (SoA hot
+        #: path live) or "wheel" (inherited object path, byte-identical)
+        self._mode = "undecided"
+        self._routers_list = []
+        super().__init__(config, traffic)
+
+    # --------------------------------------------------------- mode plumbing
+    @property
+    def routers(self):
+        """The object routers; an external read materializes array state."""
+        if self._mode == "array":
+            self._materialize()
+        return self._routers_list
+
+    @routers.setter
+    def routers(self, value) -> None:
+        self._routers_list = value
+
+    def _decide_mode(self) -> None:
+        algo_t = type(self.algo)
+        eligible = (
+            _np is not None
+            and getattr(algo_t, "array_core", False)
+            and self._per_cycle is None
+            and algo_t.is_escape_hop is RoutingAlgorithm.is_escape_hop
+            and self.config.arbitration in ("rr", "age")
+            and type(self.fc) in (VirtualCutThrough, Wormhole)
+            and self._tap_inject is None
+            and self._tap_grant is None
+            and self._tap_credit is None
+            and self._tap_ring is None
+        )
+        if eligible:
+            self._build_arrays()
+            self._mode = "array"
+        else:
+            self._mode = "wheel"
+
+    def add_tap(self, tap):
+        """Attach a tap; non-eject-only taps end the array fast path.
+
+        Eject-only taps join the delivery observers and keep the array
+        path.  A tap with inject/grant/credit/ring events needs the
+        object engine's event sites, so a live array state is written
+        back first (one-way; the run continues on the wheel path).
+        """
+        if self._mode == "array" and any(
+            getattr(tap, name, None) is not None
+            for name in ("on_inject", "on_grant", "on_credit", "on_ring_entry")
+        ):
+            self._materialize()
+        return super().add_tap(tap)
+
+    # ------------------------------------------------------------ dispatch
+    def step(self) -> None:
+        mode = self._mode
+        if mode == "array":
+            self._array_step()
+        elif mode == "wheel":
+            super().step()
+        else:
+            self._decide_mode()
+            self.step()
+
+    def inject_packet(self, src: int, dst: int, now: int | None = None) -> Packet:
+        mode = self._mode
+        if mode == "array":
+            return self._array_inject(src, dst, now)
+        if mode == "wheel":
+            return super().inject_packet(src, dst, now)
+        self._decide_mode()
+        return self.inject_packet(src, dst, now)
+
+    def total_buffered_flits(self) -> int:
+        if self._mode == "array":
+            return int(self._buf_total)
+        return super().total_buffered_flits()
+
+    def arrivals_due(self, when: int) -> list:
+        if self._mode == "array":
+            self._materialize()  # introspection wants object tuples
+        return super().arrivals_due(when)
+
+    def _next_event_cycle(self) -> int | None:
+        if self._mode != "array":
+            return super()._next_event_cycle()
+        if not self._pending_events:
+            return None
+        horizon = self._horizon
+        now = self.now
+        arr, cr = self._a_arr_ring, self._a_cr_ring
+        for off in range(horizon):
+            slot = (now + off) % horizon
+            if arr[slot] or cr[slot]:
+                return now + off
+        return None  # unreachable while _pending_events is consistent
+
+    def _fast_forward_target(self, limit: int) -> int | None:
+        if self._mode != "array":
+            return super()._fast_forward_target(limit)
+        if self._buf_total or self._per_cycle is not None:
+            return None
+        traffic = self.traffic
+        if traffic is None or getattr(traffic, "exhausted", False):
+            tin = None
+        else:
+            nic = getattr(traffic, "next_injection_cycle", None)
+            if nic is None:
+                return None  # opaque open-loop source: every cycle may inject
+            tin = nic(self.now)
+        nxt = self._next_event_cycle()
+        target = min(t for t in (tin, nxt, limit) if t is not None)
+        return target if target > self.now else None
+
+    # -------------------------------------------------------- array building
+    def _build_arrays(self) -> None:
+        routers = self._routers_list
+        i64 = _np.int64
+        nr = len(routers)
+        nin = len(routers[0].inputs)
+        nout = len(routers[0].outputs)
+        self._nr, self._nin, self._nout = nr, nin, nout
+        np_ports = nr * nin
+
+        # ---- input ports + input VCs
+        ip_nvc = _np.empty(np_ports, i64)
+        ip_vcbase = _np.empty(np_ports, i64)
+        vc_count = 0
+        vb_port_l: list[int] = []
+        vb_vcidx_l: list[int] = []
+        for r, router in enumerate(routers):
+            for i, ip in enumerate(router.inputs):
+                fp = r * nin + i
+                nv = len(ip.vcs)
+                ip_nvc[fp] = nv
+                ip_vcbase[fp] = vc_count
+                vc_count += nv
+                vb_port_l.extend([fp] * nv)
+                vb_vcidx_l.extend(range(nv))
+        self._ip_nvc = ip_nvc
+        self._ip_vcbase = ip_vcbase
+        self._ip_busy = _np.zeros(np_ports, i64)
+        self._ip_rr = _np.zeros(np_ports, i64)
+        self._ip_buffered = _np.zeros(np_ports, i64)
+        self._ip_lidx = _np.tile(_np.arange(nin, dtype=i64), nr)
+        self._vb_port = _np.asarray(vb_port_l, i64)
+        self._vb_vcidx = _np.asarray(vb_vcidx_l, i64)
+        self._vb_head = _np.full(vc_count, -1, i64)
+        self._vb_tail = _np.full(vc_count, -1, i64)
+        self._vb_occ = _np.zeros(vc_count, i64)
+        self._vb_route_op = _np.full(vc_count, -1, i64)
+        self._vb_route_fovc = _np.full(vc_count, -1, i64)
+        self._vb_up_ovc = _np.full(vc_count, -1, i64)
+        self._vb_up_lat = _np.zeros(vc_count, i64)
+
+        # ---- output ports + output VCs
+        no_ports = nr * nout
+        op_eject = _np.zeros(no_ports, bool)
+        op_lat = _np.zeros(no_ports, i64)
+        ovc_base = _np.empty(no_ports, i64)
+        ov_count = 0
+        ov_credits_l: list[int] = []
+        ovc_out_l: list[int] = []
+        for r, router in enumerate(routers):
+            for o, out in enumerate(router.outputs):
+                fo = r * nout + o
+                nv = len(out.credits)
+                ovc_base[fo] = ov_count
+                ov_count += nv
+                ov_credits_l.extend(out.credits)
+                ovc_out_l.extend([fo] * nv)
+                op_lat[fo] = out.latency
+                op_eject[fo] = out.kind is _EJECT
+        self._op_eject = op_eject
+        self._op_lat = op_lat
+        self._op_busy = _np.zeros(no_ports, i64)
+        self._op_rr = _np.zeros(no_ports, i64)
+        self._ovc_base = ovc_base
+        self._ovc_out = _np.asarray(ovc_out_l, i64)
+        self._ov_credits = _np.asarray(ov_credits_l, i64)
+        self._ov_owner = _np.full(ov_count, -1, i64)
+        self._ov_dest_ivc = _np.full(ov_count, -1, i64)
+        # wire each output VC to the downstream input VC it feeds, and
+        # the reverse map for credit returns
+        for r, router in enumerate(routers):
+            for o, out in enumerate(router.outputs):
+                if out.kind is _EJECT:
+                    continue
+                fo = r * nout + o
+                dfp = out.dest_router * nin + out.dest_port
+                dbase = ip_vcbase[dfp]
+                obase = ovc_base[fo]
+                for v in range(len(out.credits)):
+                    self._ov_dest_ivc[obase + v] = dbase + v
+                    self._vb_up_ovc[dbase + v] = obase + v
+                    self._vb_up_lat[dbase + v] = out.latency
+
+        # ---- growable flit / packet / route pools (free-list recycled;
+        # the route pool only grows — int hops, a few bytes per packet)
+        self._fl_pkt = _np.zeros(0, i64)
+        self._fl_size = _np.zeros(0, i64)
+        self._fl_idx = _np.zeros(0, i64)
+        self._fl_head = _np.zeros(0, bool)
+        self._fl_tail = _np.zeros(0, bool)
+        self._fl_next = _np.zeros(0, i64)
+        self._fl_free: list[int] = []
+        self._fl_used = 0
+        self._pk_birth = _np.zeros(0, i64)
+        self._pk_off = _np.zeros(0, i64)
+        self._pk_hop = _np.zeros(0, i64)
+        self._pk_nh = _np.zeros(0, i64)
+        self._pk_ej_op = _np.zeros(0, i64)
+        self._pk_ej_ovc = _np.zeros(0, i64)
+        self._pk_free: list[int] = []
+        self._pk_used = 0
+        self._pkt_obj: list = []
+        self._rt_op = _np.zeros(0, i64)
+        self._rt_fovc = _np.zeros(0, i64)
+        self._rt_len = 0
+        #: (src_router, dst_router) -> shared route-pool entry (_walk_route)
+        self._route_cache: dict = {}
+        # plain-list mirrors for O(30ns) scalar lookups on the inject path
+        self._ovc_base_l = ovc_base.tolist()
+        self._ip_vcbase_l = ip_vcbase.tolist()
+        # per-cycle injection staging (see _flush_injections):
+        # packet fields, flit fields + FIFO chain links, per-VC aggregates
+        self._stage: tuple = ([], [], [], [], [], [])
+        self._stage_fl: tuple = ([], [], [], [], [], [], [], [])
+        self._stage_ivc: dict = {}
+        self._stage_n = 0
+
+        # ---- wheels: ring of chunk lists, one (ids, payload) pair per
+        # batched append; a slot only ever holds one target cycle
+        self._a_arr_ring: list[list] = [[] for _ in range(self._horizon)]
+        self._a_cr_ring: list[list] = [[] for _ in range(self._horizon)]
+        self._buf_total = 0
+        self._max_nvc = int(ip_nvc.max())
+        self._is_vct = self.fc.whole_packet_reservation
+        self._age_arb = self.config.arbitration == "age"
+        config = self.config
+        self._packet_phits = config.packet_phits
+        self._record_hops = config.record_hops
+        self._int_eject = int(_EJECT)
+        # every packet has the same phit size, so the flit split is fixed
+        size = config.packet_phits
+        fs = config.flit_phits
+        if self._is_vct or fs >= size:
+            self._flit_sizes: tuple = (size,)
+        else:
+            n = -(-size // fs)
+            self._flit_sizes = (fs,) * (n - 1) + (size - fs * (n - 1),)
+        # per-output arrival delay for whole-packet (VCT) sends; WH delay
+        # depends on the flit size and is computed at grant time
+        self._op_delay_vct = op_lat + 1 + self._router_latency
+
+    def _alloc_pkt_slot(self) -> int:
+        if self._pk_free:
+            return self._pk_free.pop()
+        s = self._pk_used
+        self._pk_used += 1
+        if s >= len(self._pk_birth):
+            self._pk_birth = _grow(self._pk_birth, s + 1)
+            self._pk_off = _grow(self._pk_off, s + 1)
+            self._pk_hop = _grow(self._pk_hop, s + 1)
+            self._pk_nh = _grow(self._pk_nh, s + 1)
+            self._pk_ej_op = _grow(self._pk_ej_op, s + 1)
+            self._pk_ej_ovc = _grow(self._pk_ej_ovc, s + 1)
+            self._pkt_obj.extend([None] * (len(self._pk_birth) - len(self._pkt_obj)))
+        return s
+
+    def _alloc_fl_slots(self, n: int) -> list[int]:
+        free = self._fl_free
+        take = min(n, len(free))
+        slots = [free.pop() for _ in range(take)]
+        while len(slots) < n:
+            s = self._fl_used
+            self._fl_used += 1
+            if s >= len(self._fl_pkt):
+                self._fl_pkt = _grow(self._fl_pkt, s + 1)
+                self._fl_size = _grow(self._fl_size, s + 1)
+                self._fl_idx = _grow(self._fl_idx, s + 1)
+                self._fl_head = _grow(self._fl_head, s + 1)
+                self._fl_tail = _grow(self._fl_tail, s + 1)
+                self._fl_next = _grow(self._fl_next, s + 1, fill=-1)
+            slots.append(s)
+        return slots
+
+    # ------------------------------------------------------------ injection
+    def _walk_route(self, sr: int, dr: int, pkt: Packet) -> tuple:
+        """Walk the router path ``sr -> dr``, cache it, return the entry.
+
+        Minimal routing is a pure function of injection state, so the
+        whole hop sequence (and the packet-counter state the wheel
+        engine would accumulate through its per-grant ``on_hop`` calls)
+        is computed here once per ``(src_router, dst_router)`` pair and
+        shared by every later packet on that pair.  The hops land in
+        the append-only route pool; the eject hop is *not* stored — it
+        is reconstructed per packet from ``_pk_ej_op``/``_pk_ej_ovc``
+        (it depends on the destination node, not just the router).
+
+        The walk mutates ``pkt``'s counters in hop order because the
+        oracle reads them mid-path (dragonfly VC selection uses
+        ``g_hops``); the final values are cached for cache-hit packets.
+        """
+        topo = self.topo
+        nout = self._nout
+        lbase = topo.p
+        gbase = lbase + topo.local_ports
+        ovc_base = self._ovc_base_l
+        hops: list[int] = []
+        fovcs: list[int] = []
+        log: list[tuple] = []
+        cur = sr
+        while cur != dr:
+            kind, port, target, vc = topo.min_hop(cur, pkt)
+            oidx = (lbase + port) if kind is _LOCAL else (gbase + port)
+            fop = cur * nout + oidx
+            hops.append(fop)
+            fovcs.append(ovc_base[fop] + vc)
+            log.append((int(kind), port, vc))
+            if kind is _GLOBAL:
+                pkt.g_hops += 1
+                pkt.local_hops_group = 0
+                pkt.misrouted_group = False
+                pkt.prev_local_type = None
+                cur = topo.global_neighbor(cur, port)[0]
+            else:
+                pkt.local_hops_group += 1
+                pkt.local_hops_total += 1
+                pkt.last_local_vc = vc
+                pkt.prev_local_type = link_type(topo.index_in_group(cur), target)
+                cur = topo.router_id(topo.group_of(cur), target)
+        nh = len(hops)
+        start = self._rt_len
+        if start + nh + 1 > len(self._rt_op):  # +1: clamp-gather headroom
+            self._rt_op = _grow(self._rt_op, start + nh + 1)
+            self._rt_fovc = _grow(self._rt_fovc, start + nh + 1)
+        self._rt_op[start:start + nh] = hops
+        self._rt_fovc[start:start + nh] = fovcs
+        self._rt_len = start + nh
+        ent = (start, nh, pkt.g_hops, pkt.local_hops_group,
+               pkt.local_hops_total, pkt.prev_local_type, pkt.last_local_vc,
+               tuple(log))
+        self._route_cache[(sr, dr)] = ent
+        return ent
+
+    def _array_inject(self, src: int, dst: int, now: int | None) -> Packet:
+        if src == dst:
+            raise ValueError("source and destination nodes must differ")
+        t = self.now if now is None else now
+        topo = self.topo
+        sr = topo.router_of_node(src)
+        dr = topo.router_of_node(dst)
+        pkt = Packet(self._next_pid, src, dst, self._packet_phits, t,
+                     sr, topo.group_of(sr), dr, topo.group_of(dr))
+        self._next_pid += 1
+        ent = self._route_cache.get((sr, dr))
+        if ent is None:
+            ent = self._walk_route(sr, dr, pkt)
+        else:
+            pkt.g_hops = ent[2]
+            pkt.local_hops_group = ent[3]
+            pkt.local_hops_total = ent[4]
+            pkt.prev_local_type = ent[5]
+            pkt.last_local_vc = ent[6]
+        k = topo.node_index(dst)
+        ej_op = dr * self._nout + k
+        if self._record_hops:
+            pkt.hops_log = [*ent[7], (self._int_eject, k, 0)]
+
+        # ---- stage the SoA writes: pure list appends here, one batch of
+        # vectorized array writes per cycle in _flush_injections (scalar
+        # numpy stores are ~100x a list append; injection is the hot path
+        # of every saturated scenario)
+        ps = self._alloc_pkt_slot()
+        self._pkt_obj[ps] = pkt
+        st = self._stage
+        st[0].append(ps)
+        st[1].append(t)
+        st[2].append(ent[0])
+        st[3].append(ent[1])
+        st[4].append(ej_op)
+        st[5].append(self._ovc_base_l[ej_op])
+
+        sizes = self._flit_sizes  # all packets share one size: precomputed
+        n = len(sizes)
+        slots = self._alloc_fl_slots(n)
+        fl_slot, fl_pkt, fl_size, fl_idx, fl_hd, fl_tl, ln_src, ln_dst = \
+            self._stage_fl
+        last = n - 1
+        for i in range(n):
+            s = slots[i]
+            fl_slot.append(s)
+            fl_pkt.append(ps)
+            fl_size.append(sizes[i])
+            fl_idx.append(i)
+            fl_hd.append(i == 0)
+            fl_tl.append(i == last)
+            if i:
+                ln_src.append(slots[i - 1])
+                ln_dst.append(s)
+
+        fp = sr * self._nin + topo.node_index(src)
+        ivc = self._ip_vcbase_l[fp]  # injection ports have exactly one VC
+        entry = self._stage_ivc.get(ivc)
+        if entry is None:
+            self._stage_ivc[ivc] = [slots[0], slots[last], n,
+                                    self._packet_phits, fp]
+        else:  # second packet on this node this cycle: chain the FIFOs
+            ln_src.append(entry[1])
+            ln_dst.append(slots[0])
+            entry[1] = slots[last]
+            entry[2] += n
+            entry[3] += self._packet_phits
+        self._stage_n += n
+        self._buf_total += n
+        self.stats.on_generated(pkt)
+        self.packets_in_flight += 1
+        return pkt
+
+    def _flush_injections(self) -> None:
+        """Apply this cycle's staged injections to the SoA state in batch."""
+        if not self._stage_n:
+            return
+        asarray = _np.asarray
+        i64 = _np.int64
+        st = self._stage
+        ps = asarray(st[0], i64)
+        self._pk_birth[ps] = st[1]
+        self._pk_hop[ps] = 0
+        self._pk_off[ps] = st[2]
+        self._pk_nh[ps] = st[3]
+        self._pk_ej_op[ps] = st[4]
+        self._pk_ej_ovc[ps] = st[5]
+        fl_slot, fl_pkt, fl_size, fl_idx, fl_hd, fl_tl, ln_src, ln_dst = \
+            self._stage_fl
+        fs = asarray(fl_slot, i64)
+        self._fl_pkt[fs] = fl_pkt
+        self._fl_size[fs] = fl_size
+        self._fl_idx[fs] = fl_idx
+        self._fl_head[fs] = fl_hd
+        self._fl_tail[fs] = fl_tl
+        self._fl_next[fs] = -1
+        if ln_src:
+            self._fl_next[asarray(ln_src, i64)] = ln_dst
+        # per-VC FIFO appends: one aggregated chain per injection VC
+        items = self._stage_ivc
+        ivcs = asarray(list(items.keys()), i64)
+        agg = list(items.values())
+        firsts = asarray([e[0] for e in agg], i64)
+        tails = self._vb_tail[ivcs]
+        em = tails < 0
+        self._vb_head[ivcs[em]] = firsts[em]
+        self._fl_next[tails[~em]] = firsts[~em]
+        self._vb_tail[ivcs] = [e[1] for e in agg]
+        self._vb_occ[ivcs] += asarray([e[3] for e in agg], i64)
+        self._ip_buffered[asarray([e[4] for e in agg], i64)] += \
+            asarray([e[2] for e in agg], i64)
+        self._stage = ([], [], [], [], [], [])
+        self._stage_fl = ([], [], [], [], [], [], [], [])
+        self._stage_ivc = {}
+        self._stage_n = 0
+
+    # ------------------------------------------------------------ main loop
+    def _array_step(self) -> None:
+        t = self.now
+        slot = t % self._horizon
+        chunks = self._a_arr_ring[slot]
+        if chunks:
+            vb_tail = self._vb_tail
+            popped = 0
+            for ivcs, flits in chunks:
+                tails = vb_tail[ivcs]
+                em = tails < 0
+                self._vb_head[ivcs[em]] = flits[em]
+                self._fl_next[tails[~em]] = flits[~em]
+                vb_tail[ivcs] = flits
+                self._vb_occ[ivcs] += self._fl_size[flits]
+                self._ip_buffered[self._vb_port[ivcs]] += 1
+                popped += len(ivcs)
+            self._a_arr_ring[slot] = []
+            self._pending_events -= popped
+            self._buf_total += popped
+            self._last_progress = t
+        cchunks = self._a_cr_ring[slot]
+        if cchunks:
+            for ovcs, amounts in cchunks:
+                self._ov_credits[ovcs] += amounts
+                self._pending_events -= len(ovcs)
+            self._a_cr_ring[slot] = []
+            self._last_progress = t
+        if self.traffic is not None:
+            self.traffic.inject(self, t)
+        if self._stage_n:
+            self._flush_injections()
+        if self._buf_total:
+            self._array_alloc(t)
+        self.now = t + 1
+
+    def _array_alloc(self, t: int) -> None:
+        ip_buffered = self._ip_buffered
+        cand = (ip_buffered > 0) & (self._ip_busy <= t)
+        if not cand.any():
+            return
+        ports = cand.nonzero()[0]  # ascending flat port id == wheel scan order
+        nvc = self._ip_nvc[ports]
+        rr = self._ip_rr[ports]
+        vb_head = self._vb_head
+        fl_pkt, fl_size, fl_tail = self._fl_pkt, self._fl_size, self._fl_tail
+        ov_credits, ov_owner = self._ov_credits, self._ov_owner
+        rt_cap = len(self._rt_op) - 1
+
+        # flatten the round-robin VC scan into one (port, offset) pair
+        # matrix, port-major / offset-minor: for each candidate port,
+        # offset o visits VC (rr + o) mod nvc.  The first *sendable*
+        # pair per port wins — exactly the wheel's scan-and-break —
+        # and port-major order makes "first" a plain first-occurrence.
+        starts = _np.zeros(len(ports), _np.int64)
+        _np.cumsum(nvc[:-1], out=starts[1:])
+        total = starts[-1] + nvc[-1] if len(ports) else 0
+        reps = _np.repeat(_np.arange(len(ports)), nvc)  # port position per pair
+        off = _np.arange(total) - starts[reps]
+        vi = rr[reps] + off
+        nvp = nvc[reps]
+        vi -= (vi >= nvp) * nvp
+        ivc = self._ip_vcbase[ports][reps] + vi
+        head = vb_head[ivc]
+        pi = (head >= 0).nonzero()[0]  # pairs with a buffered flit
+        if not len(pi):
+            return
+        reps = reps[pi]
+        ivc = ivc[pi]
+        vi = vi[pi]
+        head = head[pi]
+        rop = self._vb_route_op[ivc]
+        alloc = rop >= 0
+        pslot = fl_pkt[head]
+        hop = self._pk_hop[pslot]
+        # heads past their stored hops are at the destination router:
+        # the eject hop is implicit (per-packet, not in the shared route)
+        in_rt = hop < self._pk_nh[pslot]
+        ridx = _np.minimum(self._pk_off[pslot] + hop, rt_cap)
+        eff_op = _np.where(alloc, rop,
+                           _np.where(in_rt, self._rt_op[ridx],
+                                     self._pk_ej_op[pslot]))
+        eff_fovc = _np.where(alloc, self._vb_route_fovc[ivc],
+                             _np.where(in_rt, self._rt_fovc[ridx],
+                                       self._pk_ej_ovc[pslot]))
+        size = fl_size[head]
+        tail = fl_tail[head]
+        owner = ov_owner[eff_fovc]
+        own_ok = _np.where(alloc, owner == pslot, tail | (owner < 0))
+        sendable = (self._op_busy[eff_op] <= t) & (
+            self._op_eject[eff_op] | ((ov_credits[eff_fovc] >= size) & own_ok))
+        si = sendable.nonzero()[0]
+        if not len(si):
+            return
+        # first sendable pair per port: pairs are in (port, offset) order,
+        # so unique's first-occurrence index is the wheel's winning VC
+        _, first = _np.unique(reps[si], return_index=True)
+        w = si[first]
+        sp = ports[reps[w]]
+        sflit = head[w]
+        sivc = ivc[w]
+        svi = vi[w]
+        sop = eff_op[w]
+        sfovc = eff_fovc[w]
+
+        # ---- per-output arbitration (rr: distance past the pointer;
+        # age: oldest birth, then lowest input index — wheel keys verbatim)
+        lidx = self._ip_lidx[sp]
+        nin = self._nin
+        if self._age_arb:
+            order = _np.lexsort((lidx, self._pk_birth[fl_pkt[sflit]], sop))
+        else:
+            order = _np.lexsort(((lidx - self._op_rr[sop]) % nin, sop))
+        ssop = sop[order]
+        firsts = _np.ones(len(order), bool)
+        firsts[1:] = ssop[1:] != ssop[:-1]
+        winners = order[firsts]  # one per requested output, by ascending output
+        # wheel grant order: ascending flat port id of each output's
+        # *first requester* (requests-dict insertion order per router,
+        # routers in ascending id)
+        by_port = _np.lexsort((sp, sop))
+        bp_sop = sop[by_port]
+        bp_first = _np.ones(len(by_port), bool)
+        bp_first[1:] = bp_sop[1:] != bp_sop[:-1]
+        first_sp = sp[by_port[bp_first]]  # aligned: unique outputs ascending
+        winners = winners[_np.argsort(first_sp, kind="stable")]
+
+        self._apply_grants(t, sp[winners], sivc[winners], svi[winners],
+                           sflit[winners], sop[winners], sfovc[winners])
+
+    def _apply_grants(self, t, wp, wivc, wvi, wflit, wop, wfovc) -> None:
+        fl_next = self._fl_next
+        size = self._fl_size[wflit]
+        tail = self._fl_tail[wflit]
+        head = self._fl_head[wflit]
+        pslot = self._fl_pkt[wflit]
+        # FIFO pop + port/output bookkeeping
+        nxt = fl_next[wflit]
+        self._vb_head[wivc] = nxt
+        self._vb_tail[wivc] = _np.where(nxt < 0, -1, self._vb_tail[wivc])
+        fl_next[wflit] = -1
+        self._vb_occ[wivc] -= size
+        self._ip_buffered[wp] -= 1
+        self._buf_total -= len(wp)
+        busy = t + size
+        self._ip_busy[wp] = busy
+        self._op_busy[wop] = busy
+        self._ip_rr[wp] = (wvi + 1) % self._ip_nvc[wp]
+        self._op_rr[wop] = (self._ip_lidx[wp] + 1) % self._nin
+        self._pk_hop[pslot[head]] += 1  # one head per packet per cycle
+        eject = self._op_eject[wop]
+        # route hold (head, more flits follow) / release (tail of a
+        # multi-flit packet); single-flit packets never store a route
+        hold = head & ~tail
+        self._vb_route_op[wivc[hold]] = wop[hold]
+        self._vb_route_fovc[wivc[hold]] = wfovc[hold]
+        own = hold & ~eject
+        self._ov_owner[wfovc[own]] = pslot[own]
+        rel = tail & ~head
+        self._vb_route_op[wivc[rel]] = -1
+        self._vb_route_fovc[wivc[rel]] = -1
+        free = rel & ~eject
+        self._ov_owner[wfovc[free]] = -1
+
+        # ---- link sends: debit credits, schedule arrivals by delay class
+        ne = ~eject
+        if ne.any():
+            ne_fovc = wfovc[ne]
+            ne_size = size[ne]
+            self._ov_credits[ne_fovc] -= ne_size
+            if self._is_vct:
+                delay = self._op_delay_vct[wop[ne]]
+            else:
+                delay = self._op_lat[wop[ne]] + ne_size + self._router_latency
+            dest = self._ov_dest_ivc[ne_fovc]
+            ne_flit = wflit[ne]
+            ring = self._a_arr_ring
+            horizon = self._horizon
+            for d in _np.unique(delay):
+                m = delay == d
+                ring[(t + int(d)) % horizon].append((dest[m], ne_flit[m]))
+            self._pending_events += len(ne_flit)
+
+        # ---- upstream credit returns, grouped by link latency
+        up = self._vb_up_ovc[wivc]
+        um = up >= 0
+        if um.any():
+            u_ovc = up[um]
+            u_lat = self._vb_up_lat[wivc[um]]
+            u_size = size[um]
+            cring = self._a_cr_ring
+            horizon = self._horizon
+            for lv in _np.unique(u_lat):
+                m = u_lat == lv
+                cring[(t + int(lv)) % horizon].append((u_ovc[m], u_size[m]))
+            self._pending_events += len(u_ovc)
+        self._last_progress = t
+
+        # ---- ejected flits leave the pool; tails deliver (in grant order)
+        if eject.any():
+            self._fl_free.extend(wflit[eject].tolist())
+            deliver = eject & tail
+            if deliver.any():
+                stats = self.stats
+                pobj = self._pkt_obj
+                pk_free = self._pk_free
+                for slot_, done in zip(pslot[deliver].tolist(),
+                                       busy[deliver].tolist()):
+                    pkt = pobj[slot_]
+                    pkt.delivered_cycle = done
+                    stats.on_delivered(pkt, done)
+                    self.packets_in_flight -= 1
+                    observers = self._delivery_observers
+                    if observers:
+                        for observer in observers:
+                            observer(pkt, done)
+                    pobj[slot_] = None
+                    pk_free.append(slot_)
+
+    # -------------------------------------------------------- materialization
+    def _rewind_in_flight_packets(self) -> None:
+        """Roll live packets' hop counters back to their granted prefix.
+
+        The array path applies every ``on_hop`` update at injection
+        (the walk needs them: dragonfly VC selection reads ``g_hops``
+        mid-path) and never reads them again until delivery.  The wheel
+        path re-applies ``on_hop`` per remaining grant, so handing over
+        a packet with final-state counters would double-count — and
+        mis-route, since ``min_hop`` picks VCs from ``g_hops``.  Replay
+        each live packet's stored route prefix (``pk_hop`` grants) to
+        reconstruct exactly the wheel's mid-flight state; prefilled hop
+        logs are truncated to the granted prefix for the same reason.
+        """
+        topo = self.topo
+        nout = self._nout
+        lbase = topo.p
+        gbase = lbase + topo.local_ports
+        rt_op, rt_fovc = self._rt_op, self._rt_fovc
+        ovc_base = self._ovc_base
+        for ps in range(self._pk_used):
+            pkt = self._pkt_obj[ps]
+            if pkt is None:
+                continue
+            done = int(self._pk_hop[ps])
+            if pkt.hops_log is not None:
+                del pkt.hops_log[done:]
+            pkt.g_hops = 0
+            pkt.local_hops_group = 0
+            pkt.local_hops_total = 0
+            pkt.misrouted_group = False
+            pkt.prev_local_type = None
+            pkt.last_local_vc = 0
+            off = int(self._pk_off[ps])
+            # the stored route excludes the (counter-neutral) eject hop;
+            # done == nh+1 for a WH packet whose head already ejected
+            nh = int(self._pk_nh[ps])
+            for i in range(min(done, nh)):
+                fop = int(rt_op[off + i])
+                oidx = fop % nout
+                if oidx >= gbase:
+                    pkt.g_hops += 1
+                    pkt.local_hops_group = 0
+                    pkt.misrouted_group = False
+                    pkt.prev_local_type = None
+                else:  # stored hops are LOCAL or GLOBAL, never EJECT
+                    pkt.local_hops_group += 1
+                    pkt.local_hops_total += 1
+                    pkt.last_local_vc = int(rt_fovc[off + i]) - int(ovc_base[fop])
+                    # next router: where the following hop is taken, or the
+                    # destination router when this is the last stored hop
+                    nxt = (int(rt_op[off + i + 1]) // nout if i + 1 < nh
+                           else pkt.dst_router)
+                    pkt.prev_local_type = link_type(
+                        topo.index_in_group(fop // nout), topo.index_in_group(nxt))
+
+    def _materialize(self) -> None:
+        """Write the array state back into the object routers (one-way).
+
+        After this the simulation continues on the inherited wheel
+        path, byte-identically: every piece of engine state — FIFOs,
+        occupancies, allocated routes, credit/owner/busy/rr state, the
+        timing wheels, progress counters — is reconstructed exactly as
+        the wheel engine would have built it.
+        """
+        if self._mode != "array":
+            return
+        if self._stage_n:
+            self._flush_injections()
+        self._mode = "wheel"
+        self._rewind_in_flight_packets()
+        routers = self._routers_list
+        nin, nout = self._nin, self._nout
+        fl_pkt, fl_size = self._fl_pkt, self._fl_size
+        fl_idx, fl_head, fl_tail = self._fl_idx, self._fl_head, self._fl_tail
+        pkt_obj = self._pkt_obj
+        flit_cache: dict[int, Flit] = {}
+
+        def fobj(s: int) -> Flit:
+            f = flit_cache.get(s)
+            if f is None:
+                f = Flit(pkt_obj[fl_pkt[s]], int(fl_idx[s]), int(fl_size[s]),
+                         bool(fl_head[s]), bool(fl_tail[s]))
+                flit_cache[s] = f
+            return f
+
+        for r, router in enumerate(routers):
+            pending = 0
+            for i, ip in enumerate(router.inputs):
+                fp = r * nin + i
+                ip.busy_until = int(self._ip_busy[fp])
+                ip.rr = int(self._ip_rr[fp])
+                ip.buffered = int(self._ip_buffered[fp])
+                pending += ip.buffered
+                base = int(self._ip_vcbase[fp])
+                for v, vcb in enumerate(ip.vcs):
+                    ivc = base + v
+                    vcb.fifo.clear()
+                    s = int(self._vb_head[ivc])
+                    while s >= 0:
+                        vcb.fifo.append(fobj(s))
+                        s = int(self._fl_next[s])
+                    vcb.occupancy = int(self._vb_occ[ivc])
+                    rop = int(self._vb_route_op[ivc])
+                    if rop >= 0:
+                        vcb.route_out = rop % nout
+                        vcb.route_vc = int(self._vb_route_fovc[ivc]
+                                           - self._ovc_base[rop])
+                    else:
+                        vcb.route_out = None
+                        vcb.route_vc = None
+            router.pending = pending
+            for o, out in enumerate(router.outputs):
+                fo = r * nout + o
+                out.busy_until = int(self._op_busy[fo])
+                out.rr = int(self._op_rr[fo])
+                b = int(self._ovc_base[fo])
+                for v in range(len(out.credits)):
+                    out.credits[v] = int(self._ov_credits[b + v])
+                    owner = int(self._ov_owner[b + v])
+                    out.owner[v] = None if owner < 0 else pkt_obj[owner].pid
+        self._active = {r.rid for r in routers if r.pending}
+
+        # wheels: expand chunks into the wheel engine's tuple format,
+        # preserving append order (chunks were pushed in grant order)
+        vb_port, vb_vcidx = self._vb_port, self._vb_vcidx
+        for s in range(self._horizon):
+            bucket = self._arr_wheel[s]
+            bucket.clear()
+            for ivcs, flits in self._a_arr_ring[s]:
+                for ivc, fs in zip(ivcs.tolist(), flits.tolist()):
+                    fp = int(vb_port[ivc])
+                    bucket.append((routers[fp // nin], fp % nin,
+                                   int(vb_vcidx[ivc]), fobj(fs)))
+            cbucket = self._cr_wheel[s]
+            cbucket.clear()
+            for ovcs, amounts in self._a_cr_ring[s]:
+                for fovc, amount in zip(ovcs.tolist(), amounts.tolist()):
+                    fo = int(self._ovc_out[fovc])
+                    out = routers[fo // nout].outputs[fo % nout]
+                    cbucket.append((out, int(fovc - self._ovc_base[fo]),
+                                    int(amount)))
+        # drop the array state: the object graph is authoritative now
+        self._a_arr_ring = self._a_cr_ring = None
+        self._pkt_obj = []
+        for name in ("_ip_nvc", "_ip_vcbase", "_ip_busy", "_ip_rr",
+                     "_ip_buffered", "_ip_lidx", "_vb_port", "_vb_vcidx",
+                     "_vb_head", "_vb_tail", "_vb_occ", "_vb_route_op",
+                     "_vb_route_fovc", "_vb_up_ovc", "_vb_up_lat",
+                     "_op_eject", "_op_lat", "_op_busy", "_op_rr",
+                     "_ovc_base", "_ovc_out", "_ov_credits", "_ov_owner",
+                     "_ov_dest_ivc", "_fl_pkt", "_fl_size", "_fl_idx",
+                     "_fl_head", "_fl_tail", "_fl_next", "_pk_birth",
+                     "_pk_off", "_pk_hop", "_pk_nh", "_pk_ej_op",
+                     "_pk_ej_ovc", "_rt_op", "_rt_fovc", "_route_cache",
+                     "_ovc_base_l", "_ip_vcbase_l", "_op_delay_vct"):
+            setattr(self, name, None)
+
+
+__all__ = ["ArraySimulator"]

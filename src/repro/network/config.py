@@ -26,6 +26,7 @@ from dataclasses import dataclass, fields, replace
 
 from repro.registry import (
     ARBITER_REGISTRY,
+    ENGINE_REGISTRY,
     FLOW_CONTROL_REGISTRY,
     ROUTING_REGISTRY,
     TOPOLOGY_REGISTRY,
@@ -92,6 +93,14 @@ class SimConfig:
     #: source-queue depth (in packets) that marks intra-group traffic congested
     pb_inj_backlog_packets: int = 4
 
+    # ---- execution backend
+    #: simulation engine backend: "wheel" (object timing wheel), "array"
+    #: (numpy structure-of-arrays core) or "reference" (frozen seed
+    #: engine).  Engines are an *execution* choice, not a physics knob:
+    #: every engine emits byte-identical records, so this field is
+    #: excluded from :meth:`canonical_json` and cache keys.
+    engine: str = "wheel"
+
     # ---- misc
     seed: int = 1
     record_hops: bool = False
@@ -106,6 +115,12 @@ class SimConfig:
         ROUTING_REGISTRY.get(self.routing)
         FLOW_CONTROL_REGISTRY.get(self.flow_control)
         ARBITER_REGISTRY.get(self.arbitration)
+        if self.engine not in ENGINE_REGISTRY:
+            # engines register on repro.network import; this module is
+            # imported *by* repro.network, so pull the package in lazily
+            # before deciding the name really is unknown
+            import repro.network  # noqa: F401
+            ENGINE_REGISTRY.get(self.engine)
         if self.packet_phits <= 0:
             raise ValueError("packet_phits must be positive")
         if self.topology == "flattened_butterfly":
@@ -165,13 +180,19 @@ class SimConfig:
         return d
 
     def canonical_json(self) -> str:
-        """Deterministic JSON encoding of :meth:`to_dict`.
+        """Deterministic JSON encoding of :meth:`to_dict`, minus ``engine``.
 
         Keys are sorted and separators fixed, so two equal configs always
         encode to the same byte string — the basis of result-cache keys
-        and run-plan identity (:func:`config_hash`).
+        and run-plan identity (:func:`config_hash`).  ``engine`` is
+        dropped: every backend is record-identical by contract (enforced
+        by the golden matrix), so the same physics must hash to the same
+        key no matter which engine computed it — a cache entry written
+        under one engine is a hit for all of them.
         """
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        d = self.to_dict()
+        del d["engine"]
+        return json.dumps(d, sort_keys=True, separators=(",", ":"))
 
     def content_hash(self) -> str:
         """SHA-256 hex digest of :meth:`canonical_json` (stable across runs)."""

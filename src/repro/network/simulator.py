@@ -50,7 +50,12 @@ from repro.network.config import SimConfig
 from repro.network.flowcontrol import FlowControl  # noqa: F401 (registers policies)
 from repro.network.packet import Flit, Packet
 from repro.network.router import Router
-from repro.registry import ARBITER_REGISTRY, FLOW_CONTROL_REGISTRY, TOPOLOGY_REGISTRY
+from repro.registry import (
+    ARBITER_REGISTRY,
+    ENGINE_REGISTRY,
+    FLOW_CONTROL_REGISTRY,
+    TOPOLOGY_REGISTRY,
+)
 from repro.topology import PortKind
 
 _EJECT = PortKind.EJECT
@@ -60,6 +65,8 @@ class DeadlockError(RuntimeError):
     """Raised when no flit moves for ``deadlock_window`` cycles with traffic in flight."""
 
 
+@ENGINE_REGISTRY.register(
+    "wheel", description="object-graph engine with a cycle-indexed timing wheel")
 class Simulator:
     """Cycle-level simulator over any registered topology.
 
@@ -624,5 +631,13 @@ class Simulator:
 
 
 def build_simulator(config: SimConfig, traffic=None) -> Simulator:
-    """Factory mirroring the public API (`repro.build_simulator`)."""
-    return Simulator(config, traffic)
+    """Build the engine backend selected by ``config.engine``.
+
+    Resolved through :data:`~repro.registry.ENGINE_REGISTRY`, so
+    third-party engines registered before the call are selectable like
+    built-ins.  All backends share the :class:`Simulator` interface and
+    emit byte-identical records (the golden-matrix contract).
+    """
+    if config.engine not in ENGINE_REGISTRY:
+        import repro.network  # noqa: F401  (registers array/reference engines)
+    return ENGINE_REGISTRY.get(config.engine)(config, traffic)

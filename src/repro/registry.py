@@ -163,13 +163,19 @@ ARBITER_REGISTRY = Registry("arbitration")
 PATTERN_REGISTRY = Registry("traffic pattern")
 #: traffic injection processes (when packets enter the network)
 PROCESS_REGISTRY = Registry("traffic process")
+#: simulation engine backends (object wheel, numpy array core, frozen seed)
+ENGINE_REGISTRY = Registry("engine")
 
 
 def all_registries() -> dict[str, Registry]:
     """Every component registry by kind, for introspection and the CLI."""
     # imported lazily: runplan itself registers into a Registry from this
-    # module, so a top-level import would be circular
+    # module, so a top-level import would be circular; likewise the
+    # engine backends live in repro.network, which imports SimConfig
+    # (and hence this module) at import time
     from repro.runplan.executors import EXECUTOR_REGISTRY
+
+    import repro.network  # noqa: F401  (registers the engine backends)
 
     return {
         "topology": TOPOLOGY_REGISTRY,
@@ -179,6 +185,7 @@ def all_registries() -> dict[str, Registry]:
         "traffic-pattern": PATTERN_REGISTRY,
         "traffic-process": PROCESS_REGISTRY,
         "executor": EXECUTOR_REGISTRY,
+        "engine": ENGINE_REGISTRY,
     }
 
 
@@ -192,5 +199,6 @@ __all__ = [
     "ARBITER_REGISTRY",
     "PATTERN_REGISTRY",
     "PROCESS_REGISTRY",
+    "ENGINE_REGISTRY",
     "all_registries",
 ]

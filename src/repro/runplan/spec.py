@@ -67,10 +67,15 @@ class RunPoint:
         Display labels (``series``, ``coords``) are deliberately absent:
         they don't influence the simulation, and keeping them out of the
         cache key lets differently-labelled plans share cached results.
+        ``config.engine`` is stripped for the same reason: every engine
+        backend is record-identical by contract, so a point computed on
+        the array core must hit the cache entry the wheel engine wrote.
         """
+        config = self.config.to_dict()
+        del config["engine"]
         return {
             "schema": POINT_SCHEMA_VERSION,
-            "config": self.config.to_dict(),
+            "config": config,
             "pattern": self.pattern,
             "kind": self.kind,
             "load": self.load,

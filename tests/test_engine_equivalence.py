@@ -22,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro.facade import Session, point_record
+from repro.network.arraysim import ArraySimulator
 from repro.network.config import SimConfig
 from repro.network.reference import ReferenceSimulator
 from repro.network.simulator import Simulator
@@ -35,9 +36,15 @@ ENTRIES = json.loads(GOLDENS.read_text())["entries"]
 
 def _entry_id(entry: dict) -> str:
     cfg = entry["config"]
+    topo = cfg.get("topology", "dragonfly")
     tail = (f"load{entry['load']}" if entry["kind"] == "point"
             else f"burst{entry['packets_per_node']}")
-    return f"{cfg['flow_control']}-{cfg['routing']}-{entry['pattern']}-{tail}"
+    parts = [topo, cfg["flow_control"], cfg["routing"], entry["pattern"], tail]
+    if cfg.get("arbitration", "rr") != "rr":
+        parts.append(cfg["arbitration"])
+    if cfg.get("record_hops"):
+        parts.append("hops")
+    return "-".join(parts)
 
 
 def replay(entry: dict, sim_cls) -> dict:
@@ -72,6 +79,56 @@ _SUBSET += [next(e for e in ENTRIES if e["config"]["flow_control"] == fc)
 @pytest.mark.parametrize("entry", _SUBSET, ids=_entry_id)
 def test_reference_simulator_is_still_the_seed_engine(entry):
     assert canonical_record_json(replay(entry, ReferenceSimulator)) == entry["record"]
+
+
+# The array engine must be byte-identical on the FULL golden matrix —
+# including scenarios it cannot vectorise (adaptive routings, per-cycle
+# hooks), which exercise its transparent fall-through to wheel mode.
+@pytest.mark.parametrize("entry", ENTRIES, ids=_entry_id)
+def test_array_engine_matches_seed_goldens(entry):
+    assert canonical_record_json(replay(entry, ArraySimulator)) == entry["record"]
+
+
+def test_array_engine_vectorises_the_saturated_goldens():
+    """The saturated minimal-routing goldens must run on the array core.
+
+    Guards against the eligibility gate silently regressing to wheel
+    mode: the matrix would still pass (fallback is byte-identical), but
+    the engine under test would no longer be the array core at all.
+    """
+    entry = next(e for e in ENTRIES if e["config"]["routing"] == "minimal"
+                 and e["config"].get("topology", "dragonfly") == "torus")
+    sim = ArraySimulator(SimConfig.from_dict(entry["config"]))
+    sim.inject_packet(0, sim.topo.num_nodes - 1)
+    assert sim._mode == "array"
+    sim_olm = ArraySimulator(SimConfig(h=2, routing="olm", seed=1))
+    sim_olm.inject_packet(0, 5)
+    assert sim_olm._mode == "wheel"
+
+
+def test_unknown_engine_fails_with_suggestion():
+    with pytest.raises(ValueError, match="unknown engine.*did you mean 'array'"):
+        SimConfig(engine="aray")
+
+
+def test_engine_choice_does_not_change_point_identity():
+    """Cache keys and canonical config JSON are engine-invariant.
+
+    A point computed on the array core must hit the cache entry the
+    wheel engine wrote (and vice versa); the engine is an execution
+    choice, not a physics knob.
+    """
+    from repro.runplan.spec import RunPoint
+
+    cfgs = [SimConfig(h=2, routing="minimal", engine=e)
+            for e in ("wheel", "array", "reference")]
+    assert len({cfg.canonical_json() for cfg in cfgs}) == 1
+    points = [RunPoint(config=cfg, pattern="uniform", load=0.4,
+                       warmup=100, measure=100) for cfg in cfgs]
+    assert len({p.key() for p in points}) == 1
+    assert "engine" not in points[0].describe()["config"]
+    # ...but the full to_dict round-trip keeps the field
+    assert SimConfig.from_dict(cfgs[1].to_dict()).engine == "array"
 
 
 def test_fast_forward_engages_on_drain():

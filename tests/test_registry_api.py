@@ -87,8 +87,10 @@ def test_registry_is_a_mapping():
 def test_all_registries_lists_every_component_kind():
     regs = all_registries()
     assert set(regs) == {"topology", "routing", "flow-control", "arbitration",
-                         "traffic-pattern", "traffic-process", "executor"}
+                         "traffic-pattern", "traffic-process", "executor",
+                         "engine"}
     assert "dragonfly" in regs["topology"].available()
+    assert regs["engine"].available() == ("array", "reference", "wheel")
     assert "olm" in regs["routing"].available()
     assert regs["flow-control"].available() == ("vct", "wh")
     assert regs["arbitration"].available() == ("age", "random", "rr")

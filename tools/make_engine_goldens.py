@@ -83,6 +83,36 @@ def scenario_matrix() -> list[dict]:
             "pattern": "uniform", "packets_per_node": 3,
             "max_cycles": MAX_DRAIN,
         })
+    # saturated minimal-routing points on every fabric — the array
+    # engine's target regime (PR 7).  Beyond-saturation Bernoulli load
+    # keeps every router backlogged through the whole window, and the
+    # burst entries drain a fully backpressured network; h=2 scale
+    # keeps the suite fast while still filling every buffer class.
+    for topology in ("dragonfly", "flattened_butterfly", "torus"):
+        for fc in ("vct", "wh"):
+            cfg = SimConfig(h=2, topology=topology, routing="minimal",
+                            flow_control=fc, seed=SEED)
+            entries.append({
+                "kind": "point",
+                "config": cfg.to_dict(),
+                "pattern": "uniform", "load": 0.9,
+                "warmup": WARMUP, "measure": MEASURE,
+            })
+            entries.append({
+                "kind": "drain",
+                "config": cfg.to_dict(),
+                "pattern": "uniform", "packets_per_node": 8,
+                "max_cycles": MAX_DRAIN,
+            })
+    # saturated + age arbitration + hop recording: pins the array
+    # engine's age-ordered arbitration keys and hops_log prefill
+    entries.append({
+        "kind": "point",
+        "config": SimConfig(h=2, routing="minimal", arbitration="age",
+                            record_hops=True, seed=SEED).to_dict(),
+        "pattern": "uniform", "load": 0.9,
+        "warmup": WARMUP, "measure": MEASURE,
+    })
     return entries
 
 

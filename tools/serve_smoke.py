@@ -8,7 +8,11 @@ contracts:
    same window, byte for byte;
 2. the HTTP result record equals a direct facade run (canonical JSON);
 3. N concurrent identical submissions coalesce onto ONE execution and
-   every subscriber reads identical bytes.
+   every subscriber reads identical bytes;
+4. a served ``engine: "array"`` job returns records and stream bytes
+   byte-equal to the same job on the wheel engine — and, on a shared
+   queue, the two submissions dedupe onto ONE job (engine choice is
+   excluded from point identity by contract).
 
 Usage::
 
@@ -70,10 +74,42 @@ async def smoke() -> None:
             == canonical_record_json(offline_record)), \
         "served record != offline facade record"
 
+    # contract 4: served array-engine records == served wheel records.
+    # A saturated minimal-routing point, so the array job really runs
+    # on the vectorised core (olm/h=1 points would fall back to wheel).
+    sat = {"config": {"h": 2, "routing": "minimal", "seed": 13},
+           "pattern": "uniform", "load": 0.9,
+           "warmup": 200, "measure": 400, "bucket": 100}
+    served_by_engine = {}
+    for engine in ("wheel", "array"):
+        payload = {**sat, "config": {**sat["config"], "engine": engine}}
+        app = create_app(ServeSettings(workers=1))
+        async with Client(app) as client:
+            job_id = (await client.post("/v1/jobs", json_body=payload)).json()["job"]
+            stream = (await client.get(f"/v1/jobs/{job_id}/stream")).body
+            status = (await client.get(f"/v1/jobs/{job_id}")).json()
+            assert status["state"] == "done", status
+            [record] = status["result"]["records"]
+            served_by_engine[engine] = (canonical_record_json(record), stream)
+    assert served_by_engine["array"] == served_by_engine["wheel"], \
+        "served array-engine job != served wheel-engine job"
+
+    # ...and on one queue the two engine spellings coalesce onto ONE job
+    app = create_app(ServeSettings(workers=1))
+    async with Client(app) as client:
+        jobs = set()
+        for engine in ("wheel", "array"):
+            payload = {**sat, "config": {**sat["config"], "engine": engine}}
+            jobs.add((await client.post("/v1/jobs", json_body=payload)).json()["job"])
+            await client.get(f"/v1/jobs/{min(jobs)}/stream")  # let it finish
+        assert len(jobs) == 1, f"engine choice changed the dedupe key: {jobs}"
+
     rows = streamed.count("\n")
     print(f"serve smoke OK: {SUBSCRIBERS} identical submissions -> "
           f"1 execution, {rows} streamed rows byte-identical to the "
-          "offline export, record byte-identical to the facade")
+          "offline export, record byte-identical to the facade, "
+          "array-engine job byte-identical to the wheel job (and "
+          "deduped onto it)")
 
 
 def main() -> int:
