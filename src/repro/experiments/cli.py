@@ -32,6 +32,16 @@ def _loads_list(text: str) -> tuple[float, ...]:
             f"--loads wants comma-separated floats, got {text!r}") from None
 
 
+def _shard_arg(text: str) -> str:
+    from repro.runplan import parse_shard
+
+    try:
+        parse_shard(text)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(str(e)) from None
+    return text
+
+
 def _add_plan_arguments(cmd: argparse.ArgumentParser) -> None:
     """Run-plan execution knobs shared by ``run`` and ``sweep``."""
     cmd.add_argument("--jobs", "--workers", type=int, default=1, dest="jobs",
@@ -41,6 +51,14 @@ def _add_plan_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--cache", metavar="DIR",
                      help="content-addressed result cache directory "
                           "(hits are replayed instead of re-simulated)")
+    cmd.add_argument("--shard", type=_shard_arg, metavar="I/N",
+                     help="execute only shard I of N (deterministic partition "
+                          "of the plan by content hash; run every shard with "
+                          "a shared --cache, then merge — the cache union is "
+                          "byte-identical to a serial run)")
+    cmd.add_argument("--progress", action="store_true",
+                     help="print one line per completed point to stderr "
+                          "(status, content-hash prefix, seed, ETA)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,6 +171,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max run points one submission may expand to")
     serve.add_argument("--keep-jobs", type=int, default=256,
                        help="finished jobs retained for status/stream replay")
+    serve.add_argument("--point-retries", type=int, default=1,
+                       help="extra attempts per failing point before it is "
+                            "quarantined into the job's point_errors")
+    cache = sub.add_parser(
+        "cache", help="inspect or prune a result cache directory",
+        description="Operate on the content-addressed result cache shared by "
+                    "run/sweep --cache and serve --cache-dir: 'stats' reports "
+                    "entry counts, bytes on disk and the last plan's hit "
+                    "rate; 'prune' garbage-collects old entries while "
+                    "protecting every key of a live plan.")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="entry count, bytes, last-run hit rate")
+    stats.add_argument("dir", help="cache directory")
+    prune = cache_sub.add_parser("prune", help="remove stale cache entries")
+    prune.add_argument("dir", help="cache directory")
+    prune.add_argument("--older-than", metavar="AGE",
+                       help="remove entries older than AGE (e.g. 45s, 30m, "
+                            "12h, 7d; a bare number means seconds)")
+    prune.add_argument("--keep-keys", metavar="PLAN.json",
+                       help="never remove a key this plan would replay "
+                            "(a submission JSON: {\"points\": [...]} or "
+                            "{\"spec\"/\"specs\": ...}, same schema as the "
+                            "serve API)")
+    prune.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without deleting")
     return p
 
 
@@ -234,10 +277,38 @@ def _run_point(args) -> None:
         save_result(payload, args.json)
 
 
-def _run_sweep(args) -> None:
+def _progress_callback(args):
+    """The ``on_result`` hook the plan commands share (``--progress``)."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.experiments.reporting import ProgressPrinter
+
+    return ProgressPrinter()
+
+
+def _print_plan_errors(exc) -> None:
+    """Render a :class:`PlanExecutionError`'s quarantined points."""
+    print(f"error: {exc}", file=sys.stderr)
+    for err in exc.errors:
+        detail = err.describe()
+        print(f"  point {detail['index']} ({detail.get('key', '?')!s:.12}…): "
+              f"{detail['error']}: {detail['message']} "
+              f"[attempts={detail['attempts']}"
+              f"{', worker death' if detail['worker_death'] else ''}]",
+              file=sys.stderr)
+
+
+def _run_sweep(args) -> int:
     from repro.experiments.presets import cross_topology_config, get_scale
     from repro.network.config import SimConfig
-    from repro.runplan import RunSpec, execute, executor_for_jobs, replica_seeds
+    from repro.runplan import (
+        PlanExecutionError,
+        RunSpec,
+        aggregate_replicas,
+        execute,
+        executor_for_jobs,
+        replica_seeds,
+    )
 
     scale = get_scale(args.scale)
     if args.config:
@@ -265,23 +336,109 @@ def _run_sweep(args) -> None:
         series=config.routing,
     )
     executor = args.executor or executor_for_jobs(args.jobs)
-    records = execute(spec, executor=executor, jobs=args.jobs,
-                      cache=args.cache, aggregate=not args.raw and args.seeds > 1)
-    payload = _sanitize({
-        "config": config.to_dict(),
-        "pattern": spec.pattern,
-        "loads": list(spec.loads),
-        "warmup": spec.warmup,
-        "measure": spec.measure,
-        "seeds": list(spec.seeds),
-        "auto_warmup": spec.steady,
-        "executor": executor,
-        "jobs": args.jobs,
-        "records": records,
-    })
+    aggregate = not args.raw and args.seeds > 1
+    progress = _progress_callback(args)
+    landed: list[dict] = []
+
+    def collect(outcome) -> None:
+        if outcome.record is not None:
+            landed.append(outcome.record)
+        if progress is not None:
+            progress(outcome)
+
+    def payload_for(records, *, partial: bool = False) -> dict:
+        body = {
+            "config": config.to_dict(),
+            "pattern": spec.pattern,
+            "loads": list(spec.loads),
+            "warmup": spec.warmup,
+            "measure": spec.measure,
+            "seeds": list(spec.seeds),
+            "auto_warmup": spec.steady,
+            "executor": executor,
+            "jobs": args.jobs,
+            "records": records,
+        }
+        if args.shard is not None:
+            body["shard"] = args.shard
+        if partial:
+            body["partial"] = True
+        return _sanitize(body)
+
+    try:
+        records = execute(spec, executor=executor, jobs=args.jobs,
+                          cache=args.cache, aggregate=aggregate,
+                          shard=args.shard, on_result=collect)
+    except KeyboardInterrupt:
+        payload = payload_for(aggregate_replicas(landed) if aggregate
+                              else list(landed), partial=True)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.json:
+            save_result(payload, args.json)
+        print(f"interrupted: {len(landed)} point(s) completed and cached; "
+              "rerun with the same --cache to resume", file=sys.stderr)
+        return 130
+    except PlanExecutionError as e:
+        _print_plan_errors(e)
+        return 1
+    payload = payload_for(records)
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.json:
         save_result(payload, args.json)
+    return 0
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_age(text: str) -> float:
+    """``45s`` / ``30m`` / ``12h`` / ``7d`` (bare numbers are seconds)."""
+    text = text.strip()
+    unit = 1.0
+    if text and text[-1].lower() in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1].lower()]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise ValueError(
+            f"bad --older-than value {text!r}: want AGE like 45s, 30m, "
+            "12h, 7d or a bare number of seconds") from None
+    if seconds < 0:
+        raise ValueError("--older-than must be >= 0")
+    return seconds
+
+
+def _run_cache(args) -> int:
+    from repro.runplan import ResultCache, plan_keys
+
+    cache = ResultCache(args.dir)
+    if args.cache_command == "stats":
+        payload = {
+            "root": str(cache.root),
+            "entries": len(cache),
+            "total_bytes": cache.total_bytes(),
+            "last_run": cache.last_run_stats(),
+        }
+        print(json.dumps(_sanitize(payload), indent=2, sort_keys=True))
+        return 0
+    # prune
+    try:
+        older_than = (None if args.older_than is None
+                      else _parse_age(args.older_than))
+        keep = None
+        if args.keep_keys:
+            from repro.serve.protocol import parse_submission
+
+            plan = json.loads(Path(args.keep_keys).read_text())
+            keep = plan_keys(parse_submission(plan, max_points=1_000_000).points)
+        summary = cache.prune(older_than=older_than, keep=keep,
+                              dry_run=args.dry_run)
+    except (ValueError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def _run_serve(args) -> int:
@@ -294,7 +451,8 @@ def _run_serve(args) -> int:
             cache_dir=args.cache_dir, workers=args.workers,
             queue_limit=args.queue_limit, job_timeout=args.job_timeout,
             retry_after=args.retry_after, bucket=args.bucket,
-            max_points=args.max_points, keep_jobs=args.keep_jobs)
+            max_points=args.max_points, keep_jobs=args.keep_jobs,
+            point_retries=args.point_retries)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -323,15 +481,42 @@ def main(argv: list[str] | None = None) -> int:
         _run_point(args)
         return 0
     if args.command == "sweep":
-        _run_sweep(args)
-        return 0
+        return _run_sweep(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
+    from repro.experiments.figures import FigureInterrupted
+    from repro.runplan import PlanExecutionError
+
+    progress = _progress_callback(args)
+    kwargs = {}
+    if args.shard is not None:
+        kwargs["shard"] = args.shard
+    if progress is not None:
+        kwargs["on_result"] = progress
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for exp_id in ids:
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
-                                workers=args.jobs, seeds=args.seeds,
-                                cache=args.cache)
+        try:
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
+                                    workers=args.jobs, seeds=args.seeds,
+                                    cache=args.cache, **kwargs)
+        except FigureInterrupted as e:
+            result = dict(e.partial, id=exp_id)
+            target = (args.json if args.json and len(ids) == 1
+                      else (f"{args.json_dir.rstrip('/')}/{exp_id}.partial.json"
+                            if args.json_dir else None))
+            if target:
+                save_result(result, target)
+                print(f"interrupted: partial figure saved to {target}; "
+                      "completed points are cached", file=sys.stderr)
+            else:
+                print("interrupted: completed points are cached — rerun "
+                      "with the same --cache to resume", file=sys.stderr)
+            return 130
+        except PlanExecutionError as e:
+            _print_plan_errors(e)
+            return 1
         print(format_result(result))
         print()
         if args.json and len(ids) == 1:

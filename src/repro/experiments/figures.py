@@ -23,6 +23,7 @@ from repro.experiments.presets import (
 )
 from repro.runplan import (
     RunSpec,
+    aggregate_replicas,
     execute,
     executor_for_jobs,
     replica_seeds,
@@ -41,17 +42,63 @@ MIX_PERCENTAGES = (0, 20, 40, 60, 80, 100)
 THRESHOLDS = (0.30, 0.40, 0.45, 0.50, 0.60)
 
 
+class FigureInterrupted(KeyboardInterrupt):
+    """Ctrl-C landed mid-figure; ``partial`` holds the curves so far.
+
+    A ``KeyboardInterrupt`` subclass, so existing interrupt handling
+    (shells, test runners) is unchanged — but a consumer that wants the
+    progressive results (the CLI emits them as a ``"partial": true``
+    figure JSON) finds everything that landed before the interrupt,
+    already aggregated and grouped per series.
+    """
+
+    def __init__(self, partial: dict) -> None:
+        super().__init__("figure interrupted; partial records attached")
+        self.partial = partial
+
+
 def _figure(specs, scale, pattern: str, order, *, workers=1, seeds=1,
-            cache=None) -> dict:
-    """Execute a figure's specs in one pass and group records per curve."""
-    records = execute(specs, executor=executor_for_jobs(workers), jobs=workers,
-                      cache=cache, aggregate=seeds > 1)
-    return {"pattern": pattern, "scale": scale.name, "seeds": seeds,
-            "series": series_map(records, order)}
+            cache=None, shard=None, on_result=None) -> dict:
+    """Execute a figure's specs in one streaming pass, grouped per curve.
+
+    Records are collected progressively through the scheduler's
+    ``on_result`` stream (the user callback, if any, sees every
+    :class:`~repro.runplan.PointOutcome` too), so an interrupt raises
+    :class:`FigureInterrupted` carrying the partial figure instead of
+    discarding the completed points — which are all checkpointed in
+    ``cache`` anyway and replay for free on the next run.
+    """
+    landed: list[dict] = []
+
+    def collect(outcome) -> None:
+        if outcome.record is not None:
+            landed.append(outcome.record)
+        if on_result is not None:
+            on_result(outcome)
+
+    def shaped(records, *, partial: bool = False) -> dict:
+        body = {"pattern": pattern, "scale": scale.name, "seeds": seeds,
+                "series": series_map(records, order)}
+        if partial:
+            body["partial"] = True
+        if shard is not None:
+            body["shard"] = shard if isinstance(shard, str) else "/".join(
+                str(x) for x in shard)
+        return body
+
+    try:
+        records = execute(specs, executor=executor_for_jobs(workers),
+                          jobs=workers, cache=cache, aggregate=seeds > 1,
+                          shard=shard, on_result=collect)
+    except KeyboardInterrupt as e:
+        partial = aggregate_replicas(landed) if seeds > 1 else list(landed)
+        raise FigureInterrupted(shaped(partial, partial=True)) from e
+    return shaped(records)
 
 
 def _sweep(mechs, preset: str, scale, pattern: str, loads, seed: int,
-           workers: int = 1, seeds: int = 1, cache=None) -> dict:
+           workers: int = 1, seeds: int = 1, cache=None, shard=None,
+           on_result=None) -> dict:
     scale = get_scale(scale)
     loads = tuple(loads) if loads is not None else None
     specs = [
@@ -59,52 +106,52 @@ def _sweep(mechs, preset: str, scale, pattern: str, loads, seed: int,
                        loads=loads, seed=seed, seeds=seeds)
         for mech in mechs
     ]
-    return _figure(specs, scale, pattern, mechs,
-                   workers=workers, seeds=seeds, cache=cache)
+    return _figure(specs, scale, pattern, mechs, workers=workers,
+                   seeds=seeds, cache=cache, shard=shard, on_result=on_result)
 
 
 # ------------------------------------------------------------ VCT (Figs 4/5)
 def sweep_vct_uniform(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                      cache=None) -> dict:
+                      cache=None, shard=None, on_result=None) -> dict:
     """Figures 4a + 5a: UN traffic, VCT."""
     return _sweep(VCT_UN_MECHS, "vct", scale, "uniform", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 def sweep_vct_advg1(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                    cache=None) -> dict:
+                    cache=None, shard=None, on_result=None) -> dict:
     """Figures 4b + 5b: ADVG+1, VCT."""
     return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+1", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 def sweep_vct_advgh(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                    cache=None) -> dict:
+                    cache=None, shard=None, on_result=None) -> dict:
     """Figures 4c + 5c: ADVG+h, VCT (pathological local saturation)."""
     return _sweep(VCT_ADV_MECHS, "vct", scale, "advg+h", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 # ------------------------------------------------------------- WH (Figs 7/8)
 def sweep_wh_uniform(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                     cache=None) -> dict:
+                     cache=None, shard=None, on_result=None) -> dict:
     """Figures 7a + 8a: UN traffic, WH."""
     return _sweep(WH_UN_MECHS, "wh", scale, "uniform", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 def sweep_wh_advg1(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                   cache=None) -> dict:
+                   cache=None, shard=None, on_result=None) -> dict:
     """Figures 7b + 8b: ADVG+1, WH."""
     return _sweep(WH_ADV_MECHS, "wh", scale, "advg+1", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 def sweep_wh_advgh(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                   cache=None) -> dict:
+                   cache=None, shard=None, on_result=None) -> dict:
     """Figures 7c + 8c: ADVG+h, WH."""
     return _sweep(WH_ADV_MECHS, "wh", scale, "advg+h", loads, seed,
-                  workers, seeds, cache)
+                  workers, seeds, cache, shard, on_result)
 
 
 # ------------------------------------------------ mixed + burst (Figs 6 / 9)
@@ -135,46 +182,50 @@ def _burst_specs(mechs, preset: str, scale, percentages, packets_per_node,
 
 
 def mixed_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
-              seeds=1, cache=None) -> dict:
+              seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 6a: ADVG+h/ADVL+1 mix throughput at offered load 1.0, VCT."""
     scale = get_scale(scale)
     specs = _mixed_specs(VCT_MIX_MECHS, "vct", scale, percentages, seed, seeds)
     return _figure(specs, scale, "mixed", VCT_MIX_MECHS,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 def burst_vct(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
-              seeds=1, cache=None) -> dict:
+              seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 6b: burst-consumption time under the ADVG/ADVL mix, VCT."""
     scale = get_scale(scale)
     specs = _burst_specs(VCT_MIX_MECHS, "vct", scale, percentages,
                          scale.burst_vct, seed, seeds)
     return _figure(specs, scale, "burst", VCT_MIX_MECHS,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 def mixed_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
-             seeds=1, cache=None) -> dict:
+             seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 9a: mix throughput, WH."""
     scale = get_scale(scale)
     specs = _mixed_specs(WH_MIX_MECHS, "wh", scale, percentages, seed, seeds)
     return _figure(specs, scale, "mixed", WH_MIX_MECHS,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 def burst_wh(scale="tiny", percentages=MIX_PERCENTAGES, seed=1, workers=1,
-             seeds=1, cache=None) -> dict:
+             seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 9b: burst-consumption time, WH (payload matched to Fig 6b)."""
     scale = get_scale(scale)
     specs = _burst_specs(WH_MIX_MECHS, "wh", scale, percentages,
                          scale.burst_wh, seed, seeds)
     return _figure(specs, scale, "burst", WH_MIX_MECHS,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 # --------------------------------------------- transient burst response (new)
 def burst_response(scale="tiny", bursts=None, seed=1, workers=1, seeds=1,
-                   cache=None) -> dict:
+                   cache=None, shard=None, on_result=None) -> dict:
     """Transient burst response: recovery time after a load step, VCT.
 
     Not a paper figure — the congestion story of §II told as a time
@@ -199,7 +250,8 @@ def burst_response(scale="tiny", bursts=None, seed=1, workers=1, seeds=1,
         for n in bursts
     ]
     return _figure(specs, scale, "uniform+burst", VCT_MIX_MECHS,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 # ------------------------------------------------ cross-topology (new)
@@ -208,7 +260,7 @@ XTOPO_MECHS = ("minimal", "valiant")
 
 
 def cross_topology(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
-                   cache=None) -> dict:
+                   cache=None, shard=None, on_result=None) -> dict:
     """Cross-fabric comparison: throughput vs load per topology, VCT.
 
     Not a paper figure — the generality check of the topology-agnostic
@@ -235,12 +287,13 @@ def cross_topology(scale="tiny", loads=None, seed=1, workers=1, seeds=1,
         for mech in XTOPO_MECHS
     ]
     return _figure(specs, scale, "uniform", order,
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 # ------------------------------------------------- thresholds (Figs 10 / 11)
 def _threshold_figure(scale, pattern: str, loads, thresholds, seed, workers,
-                      seeds, cache) -> dict:
+                      seeds, cache, shard=None, on_result=None) -> dict:
     scale = get_scale(scale)
     labels = {th: f"th={int(th * 100)}%" for th in thresholds}
     specs = [
@@ -253,21 +306,24 @@ def _threshold_figure(scale, pattern: str, loads, thresholds, seed, workers,
         for th in thresholds
     ]
     return _figure(specs, scale, pattern, labels.values(),
-                   workers=workers, seeds=seeds, cache=cache)
+                   workers=workers, seeds=seeds, cache=cache,
+                   shard=shard, on_result=on_result)
 
 
 def threshold_uniform(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1,
-                      seeds=1, cache=None) -> dict:
+                      seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 10: RLM/VCT misrouting-threshold sweep under UN."""
     return _threshold_figure(scale, "uniform", get_scale(scale).loads_uniform,
-                             thresholds, seed, workers, seeds, cache)
+                             thresholds, seed, workers, seeds, cache,
+                             shard, on_result)
 
 
 def threshold_advg1(scale="tiny", thresholds=THRESHOLDS, seed=1, workers=1,
-                    seeds=1, cache=None) -> dict:
+                    seeds=1, cache=None, shard=None, on_result=None) -> dict:
     """Figure 11: RLM/VCT misrouting-threshold sweep under ADVG+1."""
     return _threshold_figure(scale, "advg+1", get_scale(scale).loads_adversarial,
-                             thresholds, seed, workers, seeds, cache)
+                             thresholds, seed, workers, seeds, cache,
+                             shard, on_result)
 
 
 # ----------------------------------------------------------------- Table I

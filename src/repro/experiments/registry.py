@@ -95,7 +95,12 @@ def run_experiment(exp_id: str, scale="tiny", seed: int = 1, **kwargs) -> dict:
         result = dict(spec.runner())
     else:
         scale_key = scale if isinstance(scale, str) else getattr(scale, "name", str(scale))
-        key = (spec.runner.__name__, scale_key, seed, tuple(sorted(kwargs.items())))
+        # `on_result` is a live callback, not part of what the records
+        # depend on — exclude it from the memo key (a `shard` stays in:
+        # different shards really do produce different record sets).
+        memo_kwargs = {k: v for k, v in kwargs.items() if k != "on_result"}
+        key = (spec.runner.__name__, scale_key, seed,
+               tuple(sorted(memo_kwargs.items())))
         if key not in _RUNNER_CACHE:
             _RUNNER_CACHE[key] = spec.runner(scale=scale, seed=seed, **kwargs)
         result = dict(_RUNNER_CACHE[key])

@@ -4,7 +4,52 @@ from __future__ import annotations
 
 import json
 import math
+import sys
+import time
 from pathlib import Path
+
+
+class ProgressPrinter:
+    """Render scheduler ``PointOutcome`` events as one-line progress rows.
+
+    Plugs straight into the ``on_result`` callback surface of
+    :func:`~repro.runplan.execute_points` (the CLI's ``--progress``
+    flag): each completed point prints its status (``cached`` /
+    ``computed`` / ``retried`` / ``failed``), a short content-hash
+    prefix, the point's seed and x-coordinate, and an ETA extrapolated
+    from the completed-point rate so far.  Lines go to ``stderr`` so
+    they never mix with result JSON on ``stdout``.
+    """
+
+    def __init__(self, stream=None, clock=time.monotonic) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self._started = None
+
+    def _eta(self, completed: int, total: int) -> str:
+        if self._started is None or not completed or completed >= total:
+            return ""
+        elapsed = self._clock() - self._started
+        remaining = elapsed / completed * (total - completed)
+        return f" eta={remaining:.0f}s"
+
+    def __call__(self, outcome) -> None:
+        if self._started is None:
+            self._started = self._clock()
+        point = outcome.point
+        bits = [f"[{outcome.completed}/{outcome.total}]",
+                f"{outcome.status:>8}", point.key()[:12],
+                f"seed={point.config.seed}"]
+        if point.load is not None:
+            bits.append(f"load={point.load:g}")
+        for name, value in point.coords:
+            bits.append(f"{name}={value}")
+        if outcome.attempts > 1:
+            bits.append(f"attempts={outcome.attempts}")
+        if outcome.error is not None:
+            bits.append(f"error={outcome.error.error}")
+        line = " ".join(bits) + self._eta(outcome.completed, outcome.total)
+        print(line, file=self.stream, flush=True)
 
 
 def save_result(result: dict, path: str | Path) -> None:

@@ -18,7 +18,14 @@ from repro.facade import point_record as _record
 from repro.facade import run_point as _facade_run_point
 from repro.facade import session
 from repro.network.config import SimConfig
-from repro.runplan import RunPoint, RunSpec, execute, execute_points
+from repro.runplan import (
+    RunPoint,
+    RunSpec,
+    execute,
+    execute_points,
+    parse_shard,
+    shard_points,
+)
 from repro.traffic.patterns import MixedGlobalLocal
 from repro.traffic.processes import BernoulliTraffic, BurstTraffic
 
@@ -31,18 +38,18 @@ def run_point(config: SimConfig, pattern_spec: str, load: float,
 
 def load_sweep(config: SimConfig, pattern_spec: str, loads, warmup: int,
                measure: int, *, executor="serial", jobs: int | None = None,
-               cache=None) -> list[dict]:
+               cache=None, shard=None, on_result=None) -> list[dict]:
     """Offered-load sweep (one latency/throughput curve of Figs 4/5/7/8)."""
     spec = RunSpec(config=config, pattern=pattern_spec, loads=tuple(loads),
                    warmup=warmup, measure=measure)
     return execute(spec, executor=executor, jobs=jobs, cache=cache,
-                   aggregate=False)
+                   aggregate=False, shard=shard, on_result=on_result)
 
 
 def mixed_sweep(config: SimConfig, percentages, load: float, warmup: int,
                 measure: int, *, global_offset: int | None = None,
                 executor="serial", jobs: int | None = None,
-                cache=None) -> list[dict]:
+                cache=None, shard=None, on_result=None) -> list[dict]:
     """ADVG+h / ADVL+1 mix sweep at fixed offered load (Figs 6a/9a).
 
     The default ADVG offset is the config's ``h`` (the ``mixed:P`` spec
@@ -64,13 +71,14 @@ def mixed_sweep(config: SimConfig, percentages, load: float, warmup: int,
                  warmup=warmup, measure=measure, coords=(("global_pct", pct),))
         for pct in percentages
     ]
-    return execute_points(points, executor=executor, jobs=jobs, cache=cache)
+    return execute_points(points, executor=executor, jobs=jobs, cache=cache,
+                          shard=shard, on_result=on_result)
 
 
 def burst_drain(config: SimConfig, percentages, packets_per_node: int,
                 max_cycles: int, *, global_offset: int | None = None,
                 executor="serial", jobs: int | None = None,
-                cache=None) -> list[dict]:
+                cache=None, shard=None, on_result=None) -> list[dict]:
     """Burst-consumption experiment (Figs 6b/9b): cycles to drain a burst."""
     if global_offset is not None and global_offset != config.h:
         out = []
@@ -89,12 +97,14 @@ def burst_drain(config: SimConfig, percentages, packets_per_node: int,
                  coords=(("global_pct", pct),))
         for pct in percentages
     ]
-    return execute_points(points, executor=executor, jobs=jobs, cache=cache)
+    return execute_points(points, executor=executor, jobs=jobs, cache=cache,
+                          shard=shard, on_result=on_result)
 
 
 def threshold_sweep(config: SimConfig, thresholds, pattern_spec: str, loads,
                     warmup: int, measure: int, *, executor="serial",
-                    jobs: int | None = None, cache=None) -> dict[float, list[dict]]:
+                    jobs: int | None = None, cache=None, shard=None,
+                    on_result=None) -> dict[float, list[dict]]:
     """Misrouting-threshold sweep (Figs 10/11): one load sweep per threshold."""
     loads = tuple(loads)
     points = [
@@ -104,9 +114,15 @@ def threshold_sweep(config: SimConfig, thresholds, pattern_spec: str, loads,
         for th in thresholds
         for load in loads
     ]
-    flat = execute_points(points, executor=executor, jobs=jobs, cache=cache)
+    flat = execute_points(points, executor=executor, jobs=jobs, cache=cache,
+                          shard=shard, on_result=on_result)
+    executed = points
+    if shard is not None:
+        index, count = (parse_shard(shard) if isinstance(shard, str)
+                        else (int(shard[0]), int(shard[1])))
+        executed = shard_points(points, index, count)
     out: dict[float, list[dict]] = {}
-    for point, rec in zip(points, flat):
+    for point, rec in zip(executed, flat):
         out.setdefault(point.coords[0][1], []).append(rec)
     return out
 

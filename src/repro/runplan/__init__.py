@@ -20,7 +20,12 @@ cache state (``tests/test_runplan.py``).
 """
 
 from repro.runplan.aggregate import COORD_KEYS, aggregate_replicas
-from repro.runplan.cache import ResultCache, canonical_record_json, resolve_cache
+from repro.runplan.cache import (
+    ResultCache,
+    canonical_record_json,
+    plan_keys,
+    resolve_cache,
+)
 from repro.runplan.executors import (
     EXECUTOR_REGISTRY,
     ProcessExecutor,
@@ -28,20 +33,31 @@ from repro.runplan.executors import (
     default_workers,
     executor_for_jobs,
     resolve_executor,
+    run_stream,
 )
 from repro.runplan.runner import (
+    PointOutcome,
     execute,
     execute_point,
     execute_points,
     labeled_record,
     series_map,
 )
+from repro.runplan.scheduler import (
+    PlanExecutionError,
+    PointError,
+    PoolScheduler,
+    SerialScheduler,
+)
 from repro.runplan.spec import (
     POINT_SCHEMA_VERSION,
     RunPoint,
     RunSpec,
     expand_specs,
+    in_shard,
+    parse_shard,
     replica_seeds,
+    shard_points,
 )
 
 __all__ = [
@@ -50,14 +66,24 @@ __all__ = [
     "expand_specs",
     "replica_seeds",
     "POINT_SCHEMA_VERSION",
+    "parse_shard",
+    "in_shard",
+    "shard_points",
     "EXECUTOR_REGISTRY",
     "SerialExecutor",
     "ProcessExecutor",
     "default_workers",
     "executor_for_jobs",
     "resolve_executor",
+    "run_stream",
+    "SerialScheduler",
+    "PoolScheduler",
+    "PointError",
+    "PlanExecutionError",
+    "PointOutcome",
     "ResultCache",
     "resolve_cache",
+    "plan_keys",
     "canonical_record_json",
     "COORD_KEYS",
     "aggregate_replicas",

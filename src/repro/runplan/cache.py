@@ -15,6 +15,7 @@ import itertools
 import json
 import math
 import os
+import time
 from pathlib import Path
 
 from repro.runplan.spec import RunPoint
@@ -93,6 +94,83 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
 
+    def iter_entries(self):
+        """Yield ``(key, path)`` for every stored record, sorted by key.
+
+        Only finished entries are visible — in-progress atomic writes
+        live under ``.tmp`` names the glob never matches.
+        """
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("*/*.json")):
+            yield path.stem, path
+
+    def total_bytes(self) -> int:
+        """Bytes of record payload on disk (the ``cache stats`` number)."""
+        return sum(path.stat().st_size for _, path in self.iter_entries())
+
+    def prune(self, *, older_than: float | None = None,
+              keep: set[str] | None = None, now: float | None = None,
+              dry_run: bool = False) -> dict:
+        """Garbage-collect entries; returns a JSON-safe summary.
+
+        ``older_than`` removes only entries whose file mtime is more
+        than that many seconds before ``now`` (wall clock by default).
+        ``keep`` is a *protection set* of content-hash keys — typically
+        every key of a live plan via :func:`plan_keys` — that are never
+        removed, whatever their age.  At least one criterion is
+        required: calling with neither would silently wipe the cache.
+        ``dry_run`` reports what would be removed without touching disk.
+        """
+        if older_than is None and keep is None:
+            raise ValueError(
+                "refusing to prune without a criterion: pass older_than "
+                "(age in seconds) and/or keep (a set of plan keys to "
+                "protect) — prune(older_than=0) removes everything "
+                "unprotected")
+        cutoff = None
+        if older_than is not None:
+            cutoff = (time.time() if now is None else now) - older_than
+        removed, kept, protected = [], 0, 0
+        for key, path in list(self.iter_entries()):
+            if keep is not None and key in keep:
+                protected += 1
+                continue
+            if cutoff is not None and path.stat().st_mtime > cutoff:
+                kept += 1
+                continue
+            removed.append(key)
+            if not dry_run:
+                path.unlink(missing_ok=True)
+        return {"removed": len(removed), "removed_keys": removed,
+                "kept": kept, "protected": protected, "dry_run": dry_run}
+
+    #: sidecar (cache-root level, outside the ``xx/`` key shards) holding
+    #: the hit/miss counters of the most recent plan execution
+    RUN_STATS_NAME = "last_run.json"
+
+    def save_run_stats(self) -> None:
+        """Persist this object's counters as the cache's last-run stats.
+
+        :func:`~repro.runplan.runner.execute_points` calls this once per
+        plan; since CLI invocations build a fresh :class:`ResultCache`,
+        the sidecar holds exactly the last plan's hit-rate, which is
+        what ``repro cache stats`` reports.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "saved_at": time.time()}
+        tmp = self.root / f".{self.RUN_STATS_NAME}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+        tmp.write_text(json.dumps(stats, sort_keys=True, indent=1))
+        tmp.replace(self.root / self.RUN_STATS_NAME)
+
+    def last_run_stats(self) -> dict | None:
+        """The persisted counters of the most recent plan, if any."""
+        try:
+            return json.loads((self.root / self.RUN_STATS_NAME).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
     def stats(self) -> dict:
         """Hit/miss counters for this cache object's lifetime."""
         total = self.hits + self.misses
@@ -109,3 +187,10 @@ def resolve_cache(cache) -> ResultCache | None:
     if cache is None or isinstance(cache, ResultCache):
         return cache
     return ResultCache(cache)
+
+
+def plan_keys(points) -> set[str]:
+    """The content-hash keys of a plan — the protection set for
+    :meth:`ResultCache.prune`: pruning with ``keep=plan_keys(points)``
+    can never delete a record the plan would replay."""
+    return {point.key() for point in points}

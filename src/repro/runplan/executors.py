@@ -5,20 +5,33 @@ Executors are registered in the unified :class:`~repro.registry.Registry`
 plug in their own (an MPI pool, a job-queue client, ...) and select it
 by name wherever the experiments layer accepts ``executor=``.
 
-The contract is one method::
+The contract is the streaming scheduler interface::
 
-    executor.map(fn, items) -> list   # results in item order
+    executor.run(fn, items) -> iterator of (index, result | PointError)
 
-``fn`` is always a module-level picklable function (the run-plan worker
-entry), so process-based executors can ship it to workers.
+Results are yielded as they complete (see :mod:`repro.runplan.scheduler`
+for the retry/quarantine semantics); ``fn`` is always a module-level
+picklable function (the run-plan worker entry), so process-based
+executors can ship it to workers.  The historic all-or-nothing
+``map(fn, items) -> list`` survives as a thin compatibility shim over
+``run`` — it collects the stream in item order and re-raises the first
+quarantined point's exception — so third-party executors that only
+implement ``map`` still work everywhere (they just cannot stream or
+quarantine).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 
 from repro.registry import Registry
+from repro.runplan.scheduler import (
+    PlanExecutionError,
+    PointError,
+    PoolScheduler,
+    SerialScheduler,
+)
 
 #: run-plan executors (serial, process, third-party pools)
 EXECUTOR_REGISTRY = Registry("executor")
@@ -29,38 +42,103 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def _collect_map(stream, n: int) -> list:
+    """``map`` compat: order the stream, surface the first quarantine."""
+    results: list = [None] * n
+    errors: list[PointError] = []
+    for index, result in stream:
+        if isinstance(result, PointError):
+            errors.append(result)
+        else:
+            results[index] = result
+    if errors:
+        first = min(errors, key=lambda e: e.index)
+        if first.exception is not None:
+            raise first.exception
+        raise PlanExecutionError(sorted(errors, key=lambda e: e.index))
+    return results
+
+
 @EXECUTOR_REGISTRY.register(
     "serial", description="run every point inline in this process")
 class SerialExecutor:
-    """In-process execution: simple, profiler-friendly, zero overhead."""
+    """In-process execution: simple, profiler-friendly, zero overhead.
 
-    def __init__(self, jobs: int | None = None) -> None:
+    ``jobs`` is accepted for signature compatibility but cannot buy
+    parallelism here; asking for more than one worker warns instead of
+    being silently swallowed (use ``executor="process"`` for a pool).
+    """
+
+    def __init__(self, jobs: int | None = None, *, max_retries: int = 0,
+                 backoff: float = 0.0, fatal: tuple = ()) -> None:
+        if jobs is not None and jobs > 1:
+            warnings.warn(
+                f"SerialExecutor runs points inline in this process; "
+                f"jobs={jobs} has no effect — pass executor='process' "
+                f"(or --jobs through the CLI, which selects it) for a pool",
+                RuntimeWarning, stacklevel=2)
         self.jobs = 1
+        self._scheduler = SerialScheduler(
+            max_retries=max_retries, backoff=backoff, fatal=fatal)
+
+    @property
+    def attempt_counts(self) -> dict[int, int]:
+        """Attempts used per item index during the last :meth:`run`."""
+        return self._scheduler.attempt_counts
+
+    def run(self, fn, items):
+        """Stream ``(index, result | PointError)`` in item order."""
+        return self._scheduler.run(fn, items)
 
     def map(self, fn, items) -> list:
-        return [fn(item) for item in items]
+        items = list(items)
+        return _collect_map(self.run(fn, items), len(items))
 
 
 @EXECUTOR_REGISTRY.register(
     "process", description="fan points out over a multiprocessing pool")
 class ProcessExecutor:
-    """Process-pool execution over :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """Process-pool execution over :class:`~repro.runplan.scheduler.PoolScheduler`.
 
     Every point is a self-contained simulation, so results are identical
-    to serial execution regardless of pool size or scheduling order
-    (results come back in submission order).  ``jobs=None`` sizes the
-    pool to :func:`default_workers`.
+    to serial execution regardless of pool size or scheduling order.
+    ``jobs=None`` sizes the pool to :func:`default_workers`; ``jobs < 1``
+    is an error (there is no meaningful zero-worker pool — use the
+    serial executor for inline runs).  Worker death is survived by
+    respawning the pool and retrying only the lost points; a point that
+    fails ``max_retries + 1`` times is quarantined as a
+    :class:`~repro.runplan.scheduler.PointError` in the stream.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
-        self.jobs = default_workers() if jobs is None else max(1, jobs)
+    def __init__(self, jobs: int | None = None, *, max_retries: int = 2,
+                 backoff: float = 0.25, fatal: tuple = ()) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(
+                f"process executor needs jobs >= 1, got {jobs}; pass "
+                "jobs=None to size the pool to the machine "
+                f"({default_workers()} here) or use executor='serial' "
+                "for inline execution")
+        self.jobs = default_workers() if jobs is None else jobs
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.fatal = tuple(fatal)
+        self._scheduler: PoolScheduler | None = None
+
+    @property
+    def attempt_counts(self) -> dict[int, int]:
+        """Attempts used per item index during the last :meth:`run`."""
+        return {} if self._scheduler is None else self._scheduler.attempt_counts
+
+    def run(self, fn, items):
+        """Stream ``(index, result | PointError)`` as points complete."""
+        self._scheduler = PoolScheduler(
+            self.jobs, max_retries=self.max_retries, backoff=self.backoff,
+            fatal=self.fatal)
+        return self._scheduler.run(fn, items)
 
     def map(self, fn, items) -> list:
         items = list(items)
-        if self.jobs <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
-            return list(pool.map(fn, items))
+        return _collect_map(self.run(fn, items), len(items))
 
 
 def executor_for_jobs(jobs: int | None) -> str:
@@ -77,11 +155,24 @@ def resolve_executor(executor, jobs: int | None = None):
     """Resolve an executor name (or pass an instance through).
 
     Names go through :data:`EXECUTOR_REGISTRY` and are constructed with
-    ``jobs``; anything with a ``map`` attribute is accepted as-is.
+    ``jobs``; anything with a ``run`` or ``map`` attribute is accepted
+    as-is.
     """
     if isinstance(executor, str):
         return EXECUTOR_REGISTRY.get(executor)(jobs=jobs)
-    if hasattr(executor, "map"):
+    if hasattr(executor, "run") or hasattr(executor, "map"):
         return executor
-    raise TypeError(f"executor must be a registered name or have .map, "
+    raise TypeError(f"executor must be a registered name or have .run/.map, "
                     f"got {executor!r}")
+
+
+def run_stream(executor, fn, items):
+    """The streaming view of any executor (legacy ``map``-only included).
+
+    Native ``run`` executors stream incrementally; a ``map``-only
+    executor is adapted by materialising its list — no streaming, no
+    quarantine, but every call site keeps working.
+    """
+    if hasattr(executor, "run"):
+        return executor.run(fn, items)
+    return iter(enumerate(executor.map(fn, items)))

@@ -1,4 +1,4 @@
-"""Run-plan execution: expand, check the cache, fan out, aggregate.
+"""Run-plan execution: expand, check the cache, stream, aggregate.
 
 The module-level :func:`execute_point` is the worker entry shipped to
 pool processes; it dispatches a :class:`RunPoint` to the matching
@@ -6,15 +6,37 @@ picklable facade worker and merges the point's coordinate labels into
 the record.  :func:`execute` is the one call the experiments layer
 uses: specs in, records out, with executor / cache / replica
 aggregation handled behind the arguments.
+
+Execution is **streaming**: points flow through the scheduler contract
+(:mod:`repro.runplan.scheduler`) and every completed point is
+checkpointed to the cache *immediately* — a run killed halfway resumes
+with zero recomputation — and reported through the optional
+``on_result`` callback (a :class:`PointOutcome` per point: cache
+hit/computed/retried/quarantined, attempts, progress counters), which
+is what progressive figure rendering and the CLI ``--progress`` lines
+are built on.  Quarantined points never abort the plan mid-flight: the
+remaining points complete (and are cached) first, then the failures
+surface as :class:`~repro.runplan.scheduler.PlanExecutionError`
+(``errors="raise"``, the default) or are simply omitted from the
+result list (``errors="skip"``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
+
 from repro.facade import run_drain, run_point, run_transient
 from repro.runplan.aggregate import aggregate_replicas
 from repro.runplan.cache import resolve_cache
-from repro.runplan.executors import resolve_executor
-from repro.runplan.spec import RunPoint, RunSpec, expand_specs
+from repro.runplan.executors import resolve_executor, run_stream
+from repro.runplan.scheduler import PlanExecutionError, PointError
+from repro.runplan.spec import (
+    RunPoint,
+    RunSpec,
+    expand_specs,
+    parse_shard,
+    shard_points,
+)
 
 
 def execute_point(point: RunPoint) -> dict:
@@ -53,51 +75,133 @@ def labeled_record(point: RunPoint, record: dict) -> dict:
 _labeled = labeled_record
 
 
+@dataclass(frozen=True)
+class PointOutcome:
+    """One completed point, as seen by an ``on_result`` callback.
+
+    ``status`` is ``"cached"`` (replayed from the cache, no work),
+    ``"computed"`` (fresh, first attempt), ``"retried"`` (fresh, needed
+    more than one attempt) or ``"failed"`` (quarantined; ``record`` is
+    ``None`` and ``error`` holds the structured
+    :class:`~repro.runplan.scheduler.PointError`).  ``index`` is the
+    point's position in the executed (post-shard) plan; ``completed`` /
+    ``total`` are running progress counters — completion order, not
+    plan order, on a process pool.
+    """
+
+    index: int
+    point: RunPoint
+    record: dict | None
+    error: PointError | None
+    status: str
+    attempts: int
+    completed: int
+    total: int
+
+
+def _resolve_shard(shard) -> tuple[int, int] | None:
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        return parse_shard(shard)
+    index, count = shard
+    return int(index), int(count)
+
+
 def execute_points(points, *, executor="serial", jobs: int | None = None,
-                   cache=None) -> list[dict]:
+                   cache=None, on_result=None, errors: str = "raise",
+                   shard=None) -> list[dict]:
     """Execute a flat point list; results come back in point order.
 
     ``cache`` (a directory path or :class:`ResultCache`) is consulted
     per point before any work is scheduled: hits are replayed verbatim,
-    only misses reach the executor, and fresh records are stored on the
-    way out.
+    only misses reach the executor, and every fresh record is stored
+    the moment it lands — the checkpoint that makes killed runs
+    resumable.  ``shard`` (``"i/n"`` or ``(i, n)``) restricts execution
+    to that deterministic partition of the plan (see
+    :func:`~repro.runplan.spec.shard_points`); only the shard's records
+    are returned.  ``on_result`` receives a :class:`PointOutcome` per
+    completed point, in completion order.  ``errors`` controls
+    quarantined points: ``"raise"`` finishes every other point first,
+    then raises :class:`~repro.runplan.scheduler.PlanExecutionError`;
+    ``"skip"`` drops them from the result list.
     """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
     points = list(points)
+    resolved_shard = _resolve_shard(shard)
+    if resolved_shard is not None:
+        points = shard_points(points, *resolved_shard)
     cache = resolve_cache(cache)
-    records: list[dict | None] = [None] * len(points)
+    total = len(points)
+    completed = 0
+    records: list[dict | None] = [None] * total
+    failures: list[PointError] = []
     pending: list[tuple[int, RunPoint]] = []
-    if cache is None:
-        pending = list(enumerate(points))
-    else:
-        for i, point in enumerate(points):
-            hit = cache.get(point)
-            if hit is None:
-                pending.append((i, point))
-            else:
-                records[i] = _labeled(point, hit)
+
+    def notify(**kw) -> None:
+        if on_result is not None:
+            on_result(PointOutcome(completed=completed, total=total, **kw))
+
+    for i, point in enumerate(points):
+        hit = None if cache is None else cache.get(point)
+        if hit is None:
+            pending.append((i, point))
+        else:
+            records[i] = _labeled(point, hit)
+            completed += 1
+            notify(index=i, point=point, record=records[i], error=None,
+                   status="cached", attempts=0)
     if pending:
         pool = resolve_executor(executor, jobs)
-        fresh = pool.map(execute_point, [p for _, p in pending])
-        for (i, point), record in zip(pending, fresh):
+        plan_index = {j: i for j, (i, _) in enumerate(pending)}
+        for j, result in run_stream(pool, execute_point,
+                                    [p for _, p in pending]):
+            i = plan_index[j]
+            point = points[i]
+            completed += 1
+            if isinstance(result, PointError):
+                error = replace(result, index=i, key=point.key())
+                failures.append(error)
+                notify(index=i, point=point, record=None, error=error,
+                       status="failed", attempts=error.attempts)
+                continue
             if cache is not None:
-                cache.put(point, record)
-            records[i] = _labeled(point, record)
+                cache.put(point, result)  # checkpoint before anything else
+            records[i] = _labeled(point, result)
+            attempts = getattr(pool, "attempt_counts", {}).get(j, 1)
+            notify(index=i, point=point, record=records[i], error=None,
+                   status="retried" if attempts > 1 else "computed",
+                   attempts=attempts)
+    if cache is not None:
+        cache.save_run_stats()
+    if failures:
+        if errors == "raise":
+            raise PlanExecutionError(
+                sorted(failures, key=lambda e: e.index))
+        return [r for r in records if r is not None]
     return records  # type: ignore[return-value]
 
 
 def execute(specs, *, executor="serial", jobs: int | None = None,
-            cache=None, aggregate: bool | None = None) -> list[dict]:
+            cache=None, aggregate: bool | None = None, on_result=None,
+            errors: str = "raise", shard=None) -> list[dict]:
     """Run one spec or a sequence of specs end to end.
 
     ``aggregate=None`` (the default) collapses seed replicas exactly
     when some spec carries more than one seed; pass ``False`` for the
-    raw per-seed records or ``True`` to force aggregation.
+    raw per-seed records or ``True`` to force aggregation.  (When a
+    ``shard`` is given, a shard may hold only part of a replica group —
+    aggregate after merging shard caches, or pass ``aggregate=False``
+    per shard.)  ``on_result`` / ``errors`` / ``shard`` pass through to
+    :func:`execute_points`.
     """
     if isinstance(specs, RunSpec):
         specs = [specs]
     specs = list(specs)
     records = execute_points(expand_specs(specs), executor=executor,
-                             jobs=jobs, cache=cache)
+                             jobs=jobs, cache=cache, on_result=on_result,
+                             errors=errors, shard=shard)
     if aggregate is None:
         aggregate = any(len(spec.seeds) > 1 for spec in specs)
     return aggregate_replicas(records) if aggregate else records

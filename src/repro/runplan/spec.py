@@ -184,3 +184,53 @@ def expand_specs(specs) -> list[RunPoint]:
     for spec in specs:
         points.extend(spec.expand())
     return points
+
+
+def parse_shard(shard: str) -> tuple[int, int]:
+    """Parse a CLI-style ``"i/n"`` shard selector into ``(index, count)``.
+
+    ``index`` is zero-based: ``"0/2"`` and ``"1/2"`` together cover a
+    plan.  Raises ``ValueError`` with the expected grammar on anything
+    else.
+    """
+    try:
+        index_text, count_text = shard.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except (ValueError, AttributeError):
+        raise ValueError(
+            f"shard selector must look like 'i/n' (e.g. '0/2'), got "
+            f"{shard!r}") from None
+    _check_shard(index, count)
+    return index, count
+
+
+def _check_shard(index: int, count: int) -> None:
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index} "
+            f"(indices are zero-based: the shards of /2 are 0/2 and 1/2)")
+
+
+def in_shard(point: RunPoint, index: int, count: int) -> bool:
+    """Deterministic shard membership by the point's content hash.
+
+    The partition depends only on :meth:`RunPoint.key` — never on list
+    order, spec grouping or labels — so any decomposition of a plan
+    into shards covers exactly the same points, and the union of shard
+    caches is byte-identical to a serial run's cache.
+    """
+    return int(point.key()[:16], 16) % count == index
+
+
+def shard_points(points, index: int, count: int) -> list[RunPoint]:
+    """The sub-list of ``points`` belonging to shard ``index`` of ``count``.
+
+    Shards are disjoint and their union (over ``index = 0..count-1``)
+    is the whole plan, in plan order.  ``count=1`` returns every point.
+    """
+    _check_shard(index, count)
+    if count == 1:
+        return list(points)
+    return [p for p in points if in_shard(p, index, count)]

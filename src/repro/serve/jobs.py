@@ -293,6 +293,7 @@ class JobQueue:
                 default_bucket=self.settings.bucket,
                 cancelled=job.cancel_event,
                 emit=lambda row: send(job._push_row, row),
+                max_retries=self.settings.point_retries,
             )
         except runner.JobCancelled:
             finish(CANCELLED, error={
@@ -364,12 +365,13 @@ class JobQueue:
     def stats(self) -> dict:
         """The ``GET /v1/stats`` body: queue, job and cache counters."""
         states: dict[str, int] = {}
-        executed = cached_points = 0
+        executed = cached_points = quarantined = 0
         for job in self._jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
             if job.result is not None:
                 executed += job.result.get("executed_points", 0)
                 cached_points += job.result.get("cached_points", 0)
+                quarantined += len(job.result.get("point_errors", ()))
         return {
             "jobs_total": self._seq,
             "jobs_retained": len(self._jobs),
@@ -380,6 +382,7 @@ class JobQueue:
             "rejected": self.rejected,
             "executed_points": executed,
             "cached_points": cached_points,
+            "quarantined_points": quarantined,
             "cache": self.cache.stats(),
             "settings": {
                 "cache_dir": self.settings.cache_dir,
@@ -389,5 +392,6 @@ class JobQueue:
                 "bucket": self.settings.bucket,
                 "max_points": self.settings.max_points,
                 "keep_jobs": self.settings.keep_jobs,
+                "point_retries": self.settings.point_retries,
             },
         }

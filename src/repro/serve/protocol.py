@@ -40,7 +40,7 @@ from repro.network.config import SimConfig
 from repro.runplan.spec import RunPoint, RunSpec, replica_seeds
 
 #: bump when the submission grammar or job-key derivation changes
-SERVE_SCHEMA_VERSION = 1
+SERVE_SCHEMA_VERSION = 2
 
 _POINT_FIELDS = frozenset({
     "config", "pattern", "kind", "load", "warmup", "measure",
@@ -55,10 +55,17 @@ class SubmissionError(ValueError):
 
 @dataclass(frozen=True)
 class Submission:
-    """A parsed job: the flat points to run plus result-shaping flags."""
+    """A parsed job: the flat points to run plus result-shaping flags.
+
+    ``progress`` opts the job's row stream into per-point progress rows
+    (``{"event": "point", ...}``) interleaved with the metrics rows —
+    off by default so the streamed JSONL of an unadorned submission
+    stays byte-identical across schema versions.
+    """
 
     points: tuple[RunPoint, ...]
     aggregate: bool
+    progress: bool = False
 
     @property
     def kind(self) -> str:
@@ -76,6 +83,7 @@ class Submission:
         blob = json.dumps({
             "schema": SERVE_SCHEMA_VERSION,
             "aggregate": self.aggregate,
+            "progress": self.progress,
             "points": [p.key() for p in self.points],
         }, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -108,7 +116,7 @@ def _int_field(data: dict, name: str, default: int = 0) -> int:
 
 
 def _parse_point(payload: dict) -> RunPoint:
-    _reject_unknown(payload, _POINT_FIELDS | {"aggregate"}, "point")
+    _reject_unknown(payload, _POINT_FIELDS | {"aggregate", "progress"}, "point")
     config = _config_of(payload)
     load = payload.get("load")
     if load is not None and not isinstance(load, (int, float)):
@@ -190,8 +198,11 @@ def parse_submission(payload, *, max_points: int = 512) -> Submission:
     aggregate = payload.get("aggregate")
     if aggregate is not None and not isinstance(aggregate, bool):
         raise SubmissionError(f"aggregate must be a boolean, got {aggregate!r}")
+    progress = payload.get("progress", False)
+    if not isinstance(progress, bool):
+        raise SubmissionError(f"progress must be a boolean, got {progress!r}")
     if "spec" in payload:
-        _reject_unknown(payload, frozenset({"spec", "aggregate"}), "job")
+        _reject_unknown(payload, frozenset({"spec", "aggregate", "progress"}), "job")
         spec, n_seeds = _parse_spec(payload)
         try:
             points = tuple(spec.expand())
@@ -211,4 +222,5 @@ def parse_submission(payload, *, max_points: int = 512) -> Submission:
             f"spec expands to {len(points)} run points, over this "
             f"service's max_points limit of {max_points}; split the grid "
             "into smaller submissions")
-    return Submission(points=points, aggregate=bool(aggregate))
+    return Submission(points=points, aggregate=bool(aggregate),
+                      progress=progress)

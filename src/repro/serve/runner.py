@@ -29,11 +29,14 @@ failed rather than returning silently-wrong numbers.
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
+
 from repro.facade import point_record, session
 from repro.metrics.hub import MetricsHub
 from repro.metrics.statistics import recovery_time
 from repro.runplan.aggregate import aggregate_replicas
 from repro.runplan.runner import labeled_record
+from repro.runplan.scheduler import PointError, SerialScheduler
 from repro.runplan.spec import RunPoint
 from repro.traffic.patterns import pattern_by_name
 from repro.traffic.processes import BurstTraffic
@@ -206,41 +209,102 @@ def execute_point_streamed(point: RunPoint, emit, *, bucket: int = 250,
 
 
 def run_submission(submission, *, cache=None, default_bucket: int = 250,
-                   cancelled=None, emit=None) -> dict:
+                   cancelled=None, emit=None, max_retries: int = 0) -> dict:
     """Execute a whole submission synchronously; the worker-thread entry.
+
+    Points run through the same :class:`~repro.runplan.scheduler`
+    contract as offline plans — a :class:`SerialScheduler` with
+    :class:`JobCancelled` and :class:`FlowConservationError` marked
+    fatal, so cancellation and the conservation gate still abort the
+    job instantly while any *other* per-point failure is retried up to
+    ``max_retries`` times and then quarantined: the job completes with
+    the surviving records plus a ``point_errors`` list instead of
+    failing outright.  Only when **every** point failed does the first
+    failure propagate as the job error.
 
     Consults ``cache`` per point (hits replay verbatim and stream no
     rows — their rows were streamed when the record was first computed),
-    stores fresh records, labels every record through
-    :func:`~repro.runplan.runner.labeled_record`, and collapses seed
-    replicas when the submission asked to aggregate.  The result
+    stores fresh records the moment they land, labels every record
+    through :func:`~repro.runplan.runner.labeled_record`, and collapses
+    seed replicas when the submission asked to aggregate.  The result
     payload reports how many points actually ran (``executed_points``)
-    versus replayed (``cached_points``) — the dedupe and cache tests
-    assert on these counters.
+    versus replayed (``cached_points``).  When the submission opted in
+    (``progress``), one ``{"event": "point", ...}`` row per completed
+    point is interleaved with the metrics rows.
     """
     if emit is None:
         def emit(row):
             return None
-    records = []
+    points = submission.points
+    total = len(points)
+    completed = 0
+    want_progress = getattr(submission, "progress", False)
+
+    def note(index: int, point: RunPoint, status: str, attempts: int,
+             error: str | None = None) -> None:
+        nonlocal completed
+        completed += 1
+        if want_progress:
+            row = {"event": "point", "index": index, "point": point.key(),
+                   "status": status, "attempts": attempts,
+                   "completed": completed, "total": total}
+            if error is not None:
+                row["error"] = error
+            emit(row)
+
+    records: dict[int, dict] = {}
+    errors: list[PointError] = []
+    pending: list[tuple[int, RunPoint]] = []
     executed = cached = 0
-    for point in submission.points:
+    for i, point in enumerate(points):
         _check(cancelled)
         hit = cache.get(point) if cache is not None else None
         if hit is None:
-            rec = execute_point_streamed(point, emit, bucket=default_bucket,
-                                         cancelled=cancelled)
-            if cache is not None:
-                cache.put(point, rec)
-            executed += 1
+            pending.append((i, point))
         else:
-            rec = hit
+            records[i] = labeled_record(point, hit)
             cached += 1
-        records.append(labeled_record(point, rec))
+            note(i, point, "cached", 0)
+    if pending:
+        scheduler = SerialScheduler(
+            max_retries=max_retries,
+            fatal=(JobCancelled, FlowConservationError))
+
+        def work(item):
+            _check(cancelled)
+            _, point = item
+            return execute_point_streamed(point, emit, bucket=default_bucket,
+                                          cancelled=cancelled)
+
+        for j, result in scheduler.run(work, pending):
+            i, point = pending[j]
+            if isinstance(result, PointError):
+                errors.append(_dc_replace(result, index=i, key=point.key()))
+                note(i, point, "failed", result.attempts, error=result.error)
+                continue
+            if cache is not None:
+                cache.put(point, result)
+            executed += 1
+            records[i] = labeled_record(point, result)
+            attempts = scheduler.attempt_counts.get(j, 1)
+            note(i, point, "retried" if attempts > 1 else "computed", attempts)
+    out = [records[i] for i in sorted(records)]
+    if errors and not out:
+        first = min(errors, key=lambda e: e.index)
+        if first.exception is not None:
+            raise first.exception
+        raise RuntimeError(
+            f"all {total} point(s) failed; first: "
+            f"[{first.error}] {first.message}")
     if submission.aggregate:
-        records = aggregate_replicas(records)
-    return {
-        "records": records,
+        out = aggregate_replicas(out)
+    result = {
+        "records": out,
         "aggregated": submission.aggregate,
         "executed_points": executed,
         "cached_points": cached,
     }
+    if errors:
+        result["point_errors"] = [
+            e.describe() for e in sorted(errors, key=lambda e: e.index)]
+    return result

@@ -31,6 +31,10 @@ class ServeSettings:
     expand to (a full RunSpec grid times its seed replicas).
     ``keep_jobs`` — finished jobs retained in memory for status/stream
     replay before the oldest are evicted.
+    ``point_retries`` — extra attempts per failing point before it is
+    quarantined into the job result's ``point_errors`` list (the
+    scheduler's ``max_retries``; cancellation and the flow-conservation
+    gate are never retried).
     """
 
     cache_dir: str | None = None
@@ -41,6 +45,7 @@ class ServeSettings:
     bucket: int = 250
     max_points: int = 512
     keep_jobs: int = 256
+    point_retries: int = 1
 
     def __post_init__(self) -> None:
         if not 1 <= self.workers <= 64:
@@ -82,4 +87,11 @@ class ServeSettings:
                 f"keep_jobs must be >= 1 (got {self.keep_jobs}): finished "
                 "jobs must stay addressable at least until their status "
                 "is read"
+            )
+        if not 0 <= self.point_retries <= 10:
+            raise ValueError(
+                f"point_retries must be between 0 and 10 (got "
+                f"{self.point_retries}): it multiplies the worst-case work "
+                "per failing point — 0 disables retries, a job_timeout "
+                "still bounds the total"
             )

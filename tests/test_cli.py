@@ -179,3 +179,126 @@ def test_sweep_topology_flag_rejects_unknown(tmp_path):
     _, args = _sweep_args(tmp_path, "bad", "--topology", "klein-bottle")
     with pytest.raises(ValueError, match="klein-bottle"):
         main(args)
+
+
+# ----------------------------------------------- sharding / progress / cache
+def test_shard_argument_rejects_bad_grammar(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--shard", "2"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "fig4a", "--shard", "3/2"])
+    capsys.readouterr()
+
+
+def test_sweep_shard_union_matches_serial(tmp_path, capsys):
+    cache = tmp_path / "shardcache"
+    full, args_full = _sweep_args(tmp_path, "full", "--loads", "0.1,0.2,0.3")
+    out0, args0 = _sweep_args(tmp_path, "s0", "--loads", "0.1,0.2,0.3",
+                              "--shard", "0/2", "--cache", str(cache))
+    out1, args1 = _sweep_args(tmp_path, "s1", "--loads", "0.1,0.2,0.3",
+                              "--shard", "1/2", "--cache", str(cache))
+    for args in (args_full, args0, args1):
+        assert main(args) == 0
+    capsys.readouterr()
+    serial = json.loads(full.read_text())["records"]
+    p0 = json.loads(out0.read_text())
+    p1 = json.loads(out1.read_text())
+    assert p0["shard"] == "0/2" and p1["shard"] == "1/2"
+    union = p0["records"] + p1["records"]
+    canon = lambda rs: sorted(json.dumps(r, sort_keys=True) for r in rs)
+    assert canon(union) == canon(serial)
+    # the shared shard cache replays a full serial pass entirely
+    replay, args_replay = _sweep_args(tmp_path, "replay3",
+                                      "--loads", "0.1,0.2,0.3",
+                                      "--cache", str(cache))
+    assert main(args_replay) == 0
+    capsys.readouterr()
+    stats = json.loads((cache / "last_run.json").read_text())
+    assert stats["hits"] == 3 and stats["misses"] == 0
+    assert canon(json.loads(replay.read_text())["records"]) == canon(serial)
+
+
+def test_sweep_progress_lines_on_stderr(tmp_path, capsys):
+    _, args = _sweep_args(tmp_path, "prog", "--progress")
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    lines = [ln for ln in err.splitlines() if ln.startswith("[")]
+    assert len(lines) == 2  # one per point
+    assert lines[0].startswith("[1/2]") and "computed" in lines[0]
+    assert "seed=" in lines[0] and "load=0.1" in lines[0]
+
+
+def test_run_progress_reports_cached_replays(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "fig4a", "--scale", "smoke", "--cache", str(cache),
+                 "--progress"]) == 0
+    first = capsys.readouterr().err
+    assert " computed " in first and " cached " not in first
+    from repro.experiments.registry import clear_cache
+
+    clear_cache()  # drop the in-process memo so the disk cache is consulted
+    assert main(["run", "fig4a", "--scale", "smoke", "--cache", str(cache),
+                 "--progress"]) == 0
+    second = capsys.readouterr().err
+    assert " cached " in second and " computed " not in second
+
+
+def test_cache_stats_reports_entries_and_last_run(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _, args = _sweep_args(tmp_path, "warm", "--cache", str(cache))
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", str(cache)]) == 0
+    body = json.loads(capsys.readouterr().out)
+    assert body["entries"] == 2
+    assert body["total_bytes"] > 0
+    assert body["last_run"]["misses"] == 2 and body["last_run"]["hits"] == 0
+
+
+def test_cache_prune_cli_age_and_dry_run(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _, args = _sweep_args(tmp_path, "warm", "--cache", str(cache))
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["cache", "prune", str(cache), "--older-than", "0s",
+                 "--dry-run"]) == 0
+    body = json.loads(capsys.readouterr().out)
+    assert body["removed"] == 2 and body["dry_run"] is True
+    assert main(["cache", "stats", str(cache)]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 2  # intact
+    assert main(["cache", "prune", str(cache), "--older-than", "1d"]) == 0
+    assert json.loads(capsys.readouterr().out)["removed"] == 0
+    assert main(["cache", "prune", str(cache), "--older-than", "0"]) == 0
+    assert json.loads(capsys.readouterr().out)["removed"] == 2
+
+
+def test_cache_prune_keep_keys_protects_plan(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    _, args = _sweep_args(tmp_path, "warm", "--cache", str(cache))
+    assert main(args) == 0
+    capsys.readouterr()
+    # rebuild the very plan the sweep ran, in the serve submission shape
+    from repro.experiments.presets import cross_topology_config, get_scale
+
+    scale = get_scale("tiny")
+    config = cross_topology_config("dragonfly", scale=scale,
+                                   routing="minimal", seed=1,
+                                   flow_control="vct")
+    plan = tmp_path / "plan.json"
+    plan.write_text(json.dumps({"spec": {
+        "config": config.to_dict(), "pattern": "uniform",
+        "loads": [0.1, 0.2], "warmup": 200, "measure": 200}}))
+    assert main(["cache", "prune", str(cache), "--older-than", "0s",
+                 "--keep-keys", str(plan)]) == 0
+    body = json.loads(capsys.readouterr().out)
+    assert body["protected"] == 2 and body["removed"] == 0
+
+
+def test_cache_prune_requires_criterion(tmp_path, capsys):
+    assert main(["cache", "prune", str(tmp_path)]) == 2
+    assert "refusing to prune" in capsys.readouterr().err
+
+
+def test_cache_prune_rejects_bad_age(tmp_path, capsys):
+    assert main(["cache", "prune", str(tmp_path), "--older-than", "soon"]) == 2
+    assert "--older-than" in capsys.readouterr().err

@@ -124,3 +124,72 @@ def test_format_result_numeric_table():
     }
     text = format_result(res)
     assert "olm" in text and "0.099" in text
+
+
+def test_figure_interrupt_carries_partial_series():
+    from repro.experiments.figures import FigureInterrupted, sweep_vct_uniform
+    from repro.experiments.registry import clear_cache
+
+    clear_cache()
+
+    def die_after_two(outcome):
+        if outcome.completed >= 2:
+            raise KeyboardInterrupt
+
+    with pytest.raises(FigureInterrupted) as ei:
+        sweep_vct_uniform(scale="tiny", loads=(0.1,), on_result=die_after_two)
+    partial = ei.value.partial
+    assert partial["partial"] is True
+    assert sum(len(v) for v in partial["series"].values()) == 2
+    assert isinstance(ei.value, KeyboardInterrupt)  # plain ^C handling works
+
+
+def test_figure_runner_shard_restricts_and_labels():
+    from repro.experiments.figures import sweep_vct_uniform
+    from repro.experiments.registry import clear_cache
+
+    clear_cache()
+    full = sweep_vct_uniform(scale="tiny", loads=(0.1,))
+    part0 = sweep_vct_uniform(scale="tiny", loads=(0.1,), shard="0/2")
+    part1 = sweep_vct_uniform(scale="tiny", loads=(0.1,), shard=(1, 2))
+    assert "shard" not in full
+    assert part0["shard"] == "0/2" and part1["shard"] == "1/2"
+    n = sum(len(v) for v in full["series"].values())
+    n0 = sum(len(v) for v in part0["series"].values())
+    n1 = sum(len(v) for v in part1["series"].values())
+    assert n0 + n1 == n
+
+
+def test_run_experiment_memo_ignores_on_result_callback():
+    from repro.experiments.registry import _RUNNER_CACHE, clear_cache
+
+    clear_cache()
+    seen = []
+    first = run_experiment("fig4a", scale="tiny", loads=(0.1,),
+                           on_result=seen.append)
+    assert seen  # the callback really streamed outcomes
+    assert len(_RUNNER_CACHE) == 1
+    again = run_experiment("fig4a", scale="tiny", loads=(0.1,))
+    assert len(_RUNNER_CACHE) == 1  # same memo slot despite the callback
+    assert again["series"] == first["series"]
+
+
+def test_progress_printer_formats_outcomes():
+    import io
+
+    from repro.experiments.reporting import ProgressPrinter
+    from repro.runplan import PointOutcome, RunPoint
+
+    point = RunPoint(config=paper_vct_config(h=2, routing="minimal", seed=7),
+                     pattern="uniform", load=0.25, warmup=10, measure=10,
+                     coords=(("threshold", 0.4),))
+    buf = io.StringIO()
+    ticks = iter([0.0, 10.0])
+    printer = ProgressPrinter(stream=buf, clock=lambda: next(ticks))
+    printer(PointOutcome(index=0, point=point, record={}, error=None,
+                         status="computed", attempts=1, completed=1, total=3))
+    line = buf.getvalue().strip()
+    assert line.startswith("[1/3]")
+    assert "computed" in line and "seed=7" in line and "load=0.25" in line
+    assert "threshold=0.4" in line
+    assert "eta=20s" in line  # 10 s for 1 of 3 points -> 20 s left

@@ -202,7 +202,30 @@ def test_executor_registry_names():
     assert {"serial", "process"} <= set(EXECUTOR_REGISTRY.available())
     pool = ProcessExecutor(jobs=3)
     assert pool.jobs == 3
-    assert ProcessExecutor(jobs=0).jobs == 1
+
+
+def test_process_executor_rejects_zero_jobs():
+    """Satellite: jobs=0 is an actionable error, not a silent clamp to 1."""
+    with pytest.raises(ValueError, match="jobs >= 1"):
+        ProcessExecutor(jobs=0)
+    with pytest.raises(ValueError, match="jobs >= 1"):
+        execute_points(tiny_spec(loads=(0.1,)).expand(),
+                       executor="process", jobs=0)
+
+
+def test_serial_executor_warns_on_jobs():
+    """Satellite: SerialExecutor no longer swallows jobs>1 silently."""
+    from repro.runplan import SerialExecutor
+
+    with pytest.warns(RuntimeWarning, match="jobs=4 has no effect"):
+        SerialExecutor(jobs=4)
+    # jobs=None and jobs=1 stay silent
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        SerialExecutor()
+        SerialExecutor(jobs=1)
 
 
 # -------------------------------------------------------------- aggregation

@@ -94,6 +94,8 @@ def test_parse_enforces_max_points():
     (dict(bucket=0), "bucket"),
     (dict(max_points=0), "max_points"),
     (dict(keep_jobs=0), "keep_jobs"),
+    (dict(point_retries=-1), "point_retries"),
+    (dict(point_retries=11), "point_retries"),
 ])
 def test_settings_bounds(bad, needle):
     with pytest.raises(ValueError, match=needle):
@@ -122,7 +124,7 @@ class FakeRunner:
         self.started = threading.Event()
 
     def __call__(self, submission, *, cache=None, default_bucket=250,
-                 cancelled=None, emit=None):
+                 cancelled=None, emit=None, max_retries=0):
         self.calls += 1
         self.started.set()
         if cancelled is not None and cancelled.is_set():
@@ -362,3 +364,97 @@ def test_finished_jobs_evicted_beyond_keep_jobs(monkeypatch):
         again = (await client.post("/v1/jobs", json_body=POINT)).json()
         assert again["job"] != first and not again["deduped"]
         await wait_state(client, again["job"], "done")
+
+
+# ------------------------------------------- scheduler-backed run_submission
+def _tiny_spec_payload(**extra):
+    return {"spec": {"config": {"h": 2, "routing": "minimal"},
+                     "pattern": "uniform", "loads": [0.1, 0.2],
+                     "warmup": 100, "measure": 100}, **extra}
+
+
+def test_submission_progress_flag_parses_and_keys():
+    plain = parse_submission(_tiny_spec_payload())
+    verbose = parse_submission(_tiny_spec_payload(progress=True))
+    assert not plain.progress and verbose.progress
+    assert plain.key() != verbose.key()  # different stream → no dedupe
+    with pytest.raises(SubmissionError, match="progress"):
+        parse_submission(_tiny_spec_payload(progress="yes"))
+
+
+def test_run_submission_emits_progress_rows_only_on_opt_in():
+    rows = []
+    result = serve_runner.run_submission(
+        parse_submission(_tiny_spec_payload()), emit=rows.append)
+    assert result["executed_points"] == 2
+    assert not [r for r in rows if r.get("event") == "point"]
+
+    rows = []
+    serve_runner.run_submission(
+        parse_submission(_tiny_spec_payload(progress=True)), emit=rows.append)
+    prog = [r for r in rows if r.get("event") == "point"]
+    assert [p["completed"] for p in prog] == [1, 2]
+    assert all(p["status"] == "computed" and p["total"] == 2 for p in prog)
+    # progress rows are extra — the metrics rows themselves are unchanged
+    metrics = [r for r in rows if r.get("event") != "point"]
+    assert any("throughput" in r for r in metrics)
+
+
+def test_run_submission_quarantines_bad_point_and_completes():
+    import dataclasses
+
+    sub = parse_submission(_tiny_spec_payload(progress=True))
+    bad = dataclasses.replace(sub.points[1], pattern="no_such_pattern")
+    mixed = dataclasses.replace(sub, points=(sub.points[0], bad))
+    rows = []
+    result = serve_runner.run_submission(mixed, max_retries=1,
+                                         emit=rows.append)
+    assert len(result["records"]) == 1
+    (err,) = result["point_errors"]
+    assert err["index"] == 1 and err["attempts"] == 2
+    assert err["key"] == bad.key()
+    failed = [r for r in rows if r.get("event") == "point"
+              and r["status"] == "failed"]
+    assert len(failed) == 1 and failed[0]["error"] == err["error"]
+
+
+def test_run_submission_all_points_failed_raises_original():
+    import dataclasses
+
+    sub = parse_submission(_tiny_spec_payload())
+    poisoned = tuple(dataclasses.replace(p, pattern="no_such_pattern")
+                     for p in sub.points)
+    with pytest.raises(Exception, match="no_such_pattern"):
+        serve_runner.run_submission(dataclasses.replace(sub, points=poisoned))
+
+
+def test_run_submission_cancellation_is_never_retried():
+    cancelled = threading.Event()
+    cancelled.set()
+    with pytest.raises(serve_runner.JobCancelled):
+        serve_runner.run_submission(parse_submission(_tiny_spec_payload()),
+                                    cancelled=cancelled, max_retries=5)
+
+
+def test_stats_counts_quarantined_points(monkeypatch):
+    seen_retries = []
+
+    def with_errors(submission, *, max_retries=0, **kw):
+        seen_retries.append(max_retries)
+        return {"records": [], "aggregated": False,
+                "executed_points": 1, "cached_points": 0,
+                "point_errors": [{"index": 0, "error": "ValueError"}]}
+
+    monkeypatch.setattr(serve_runner, "run_submission", with_errors)
+
+    @serve_test(ServeSettings(workers=1, point_retries=3))
+    async def _(client, app):
+        resp = await client.post("/v1/jobs", json_body=_tiny_spec_payload())
+        job_id = resp.json()["job"]
+        body = await wait_state(client, job_id, "done")
+        assert body["result"]["point_errors"] == [
+            {"index": 0, "error": "ValueError"}]
+        stats = (await client.get("/v1/stats")).json()
+        assert stats["quarantined_points"] == 1
+        assert stats["settings"]["point_retries"] == 3
+        assert seen_retries == [3]

@@ -3,7 +3,12 @@
 
 Times the same 8-point load sweep under the ``serial`` and ``process``
 executors and writes ``BENCH_runplan.json`` with points/sec, wall-clock
-seconds and the parallel speedup.  The sweep points are mutually
+seconds and the parallel speedup.  Also measures the streaming
+scheduler's bookkeeping overhead (a no-op work function through the
+streaming ``SerialScheduler`` vs a bare Python loop, per point)
+and per-shard wall-clock for a two-way ``--shard``-style split of the
+plan — the numbers behind the sharded-CI recipe in
+``docs/DISTRIBUTED.md``.  The sweep points are mutually
 independent simulations, so on an N-core machine the expected speedup
 approaches min(N, points); on a single core the process executor's
 pickling overhead makes the ratio <= 1.  The report always records
@@ -21,12 +26,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import time
 from pathlib import Path
 
 from repro.network.config import paper_vct_config
-from repro.runplan import RunSpec, canonical_record_json, execute
+from repro.runplan import (
+    RunSpec,
+    SerialScheduler,
+    canonical_record_json,
+    execute,
+    execute_points,
+    expand_specs,
+    shard_points,
+)
 
 DEFAULT_LOADS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 
@@ -61,6 +75,37 @@ def main(argv: list[str] | None = None) -> int:
     identical = ([canonical_record_json(r) for r in serial_records]
                  == [canonical_record_json(r) for r in process_records])
 
+    # scheduler bookkeeping overhead, isolated from simulation cost: a
+    # no-op work function through the streaming scheduler vs a bare
+    # loop.  min of three passes — wall-clocking real points here would
+    # drown microseconds of bookkeeping in CPU-steal noise.
+    n_noop = 20_000
+    items = list(range(n_noop))
+
+    def _timed(work):
+        best = math.inf
+        for _ in range(3):
+            start = time.perf_counter()
+            work()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    inline_s = _timed(lambda: [item for item in items])
+    scheduler_s = _timed(
+        lambda: list(SerialScheduler().run(lambda item: item, items)))
+    overhead_us = 1e6 * (scheduler_s - inline_s) / n_noop
+
+    # per-shard wall-clock of a two-way split (run serially here; in CI
+    # the shards run on separate machines against one shared cache)
+    points = expand_specs([spec])
+    shards = []
+    for index in range(2):
+        members = shard_points(points, index, 2)
+        start = time.perf_counter()
+        execute_points(points, shard=(index, 2))
+        shards.append({"shard": f"{index}/2", "points": len(members),
+                       "seconds": round(time.perf_counter() - start, 3)})
+
     cpu_count = os.cpu_count() or 1
     report = {
         "bench": "runplan-executors",
@@ -76,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
         "process_points_per_sec": round(n / process_s, 3),
         "wall_clock_ratio": round(serial_s / process_s, 3),
         "records_identical": identical,
+        "scheduler_overhead_us_per_point": round(overhead_us, 2),
+        "shards": shards,
     }
     # honest reporting: a "speedup" claim needs >1 core to stand on —
     # on a single-core box the ratio only measures pool overhead
