@@ -90,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "or any registered pattern name)")
     point.add_argument("--load", type=float, default=0.5,
                        help="offered load in phits/(node*cycle)")
+    point.add_argument("--engine", default=None,
+                       help="engine backend (wheel, array, auto, reference; "
+                            "see list-components); default: the --config "
+                            "file's engine, else wheel")
     point.add_argument("--warmup", type=int, default=2000)
     point.add_argument("--measure", type=int, default=2000)
     point.add_argument("--auto-warmup", action="store_true",
@@ -120,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "incompatible with --config")
     sweep.add_argument("--routing", default="olm",
                        help="routing mechanism (see list-components)")
+    sweep.add_argument("--engine", default="auto",
+                       help="engine backend for every point (default auto: "
+                            "the numpy array core when the point qualifies, "
+                            "the timing wheel otherwise — records and cache "
+                            "keys are engine-invariant; overrides the "
+                            "--config file's engine)")
     sweep.add_argument("--pattern", default="uniform",
                        help="traffic pattern spec (uniform, advg+h, mixed:40, ...)")
     sweep.add_argument("--loads", type=_loads_list,
@@ -223,14 +233,20 @@ def _sanitize(obj):
     return obj
 
 
-def _run_point(args) -> None:
+def _run_point(args) -> int:
     from repro.facade import session
     from repro.network.config import SimConfig
 
-    if args.config:
-        config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
-    else:
-        config = SimConfig()
+    try:
+        if args.config:
+            config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
+        else:
+            config = SimConfig()
+        if args.engine is not None:
+            config = config.with_(engine=args.engine)
+    except ValueError as e:  # unknown engine etc. — did-you-mean included
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     s = session(config, pattern=args.pattern, load=args.load)
     if args.auto_warmup:
         s.warmup_until_steady(max_cycles=args.warmup)
@@ -275,6 +291,7 @@ def _run_point(args) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
     if args.json:
         save_result(payload, args.json)
+    return 0
 
 
 def _progress_callback(args):
@@ -311,20 +328,25 @@ def _run_sweep(args) -> int:
     )
 
     scale = get_scale(args.scale)
-    if args.config:
-        if args.topology is not None:
-            raise ValueError(
-                "--config carries its own topology; pass one of "
-                "--config/--topology, not both"
-            )
-        config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
-        if args.seed is not None:
-            config = config.with_(seed=args.seed)
-    else:
-        config = cross_topology_config(
-            args.topology or "dragonfly", scale=scale, routing=args.routing,
-            seed=1 if args.seed is None else args.seed,
-            flow_control=args.preset)
+    try:
+        if args.config:
+            if args.topology is not None:
+                raise ValueError(
+                    "--config carries its own topology; pass one of "
+                    "--config/--topology, not both"
+                )
+            config = SimConfig.from_dict(json.loads(Path(args.config).read_text()))
+            if args.seed is not None:
+                config = config.with_(seed=args.seed)
+        else:
+            config = cross_topology_config(
+                args.topology or "dragonfly", scale=scale, routing=args.routing,
+                seed=1 if args.seed is None else args.seed,
+                flow_control=args.preset)
+        config = config.with_(engine=args.engine)
+    except ValueError as e:  # unknown engine etc. — did-you-mean included
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     loads = args.loads or (scale.loads_uniform if args.pattern == "uniform"
                            else scale.loads_adversarial)
     spec = RunSpec(
@@ -478,8 +500,7 @@ def main(argv: list[str] | None = None) -> int:
         _list_components()
         return 0
     if args.command == "point":
-        _run_point(args)
-        return 0
+        return _run_point(args)
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "serve":

@@ -44,6 +44,26 @@ class StatsCollector:
     def on_generated(self, packet) -> None:
         self.generated += 1
 
+    def on_generated_batch(self, count: int) -> None:
+        """Batched form of :meth:`on_generated` (no per-packet objects)."""
+        self.generated += count
+
+    def on_delivered_batch(self, count: int, phits: int, latency_sum: int,
+                           latency_max: int, hops_sum: int) -> None:
+        """Batched form of :meth:`on_delivered` for misroute-free packets.
+
+        Engines may fold a whole cycle's deliveries into one call when
+        every packet in the batch took its minimal route (zero local and
+        global misroutes), which is why the misroute counters are absent
+        from the signature.
+        """
+        self.delivered += count
+        self.delivered_phits += phits
+        self.latency_sum += latency_sum
+        if latency_max > self.latency_max:
+            self.latency_max = latency_max
+        self.hops_sum += hops_sum
+
     def on_delivered(self, packet, now: int) -> None:
         self.delivered += 1
         self.delivered_phits += packet.size_phits

@@ -86,6 +86,16 @@ class LatencyTap:
     def on_eject(self, packet, now: int) -> None:
         self.latencies.append(now - packet.birth)
 
+    def on_eject_batch(self, latencies, dones) -> None:
+        """Batched form of :meth:`on_eject`: whole-cycle latency arrays.
+
+        The array engine delivers a cycle's packets as one call with the
+        latency and completion-cycle arrays in delivery order, so the
+        sample list stays element-for-element identical to the scalar
+        tap while skipping per-packet Python work.
+        """
+        self.latencies.extend(latencies.tolist())
+
     def clear(self) -> None:
         self.latencies.clear()
 

@@ -55,6 +55,26 @@ the same way, so introspection code sees ordinary object state.
 With ``record_hops`` the whole hop log is prefilled at injection (the
 route is known then); the delivered log is byte-identical, it just
 exists earlier than the wheel engine's grant-time appends.
+
+**Batched injection** — when the traffic process offers the
+``inject_batch(sim, now) -> (srcs, dsts)`` protocol (Bernoulli sources
+do), each cycle's injections arrive as two index arrays and
+:meth:`_array_inject_batch` applies them without creating a single
+Packet object: identity lives in the packet SoA (*lazy packets*), the
+route comes from a dense ``(src_router, dst_router)`` table, and the
+Packet is only reconstructed (:meth:`_ensure_pkt`) if something needs
+the object — a non-batch delivery observer or a materialization.
+Deliveries of all-lazy grants are batched too, through
+``StatsCollector.on_delivered_batch`` and the observers' optional
+``on_eject_batch``.
+
+**Sparse activity** — a set of flat input ports with buffered flits is
+maintained across all mutation sites, so the per-cycle allocator scans
+O(active ports) instead of O(all ports), and whenever a pass proves no
+grant can happen before a *known* busy-timer expiry, allocation is
+skipped entirely until that cycle (any arrival, credit or injection
+resets the skip).  Sparse backlogged scenarios no longer pay the full
+kernel sequence on empty cycles.
 """
 
 from __future__ import annotations
@@ -75,6 +95,40 @@ from repro.topology import PortKind
 _EJECT = PortKind.EJECT
 _LOCAL = PortKind.LOCAL
 _GLOBAL = PortKind.GLOBAL
+
+
+#: alloc-skip sentinel: "no time-driven unblock — wait for an event"
+_ALLOC_IDLE = 1 << 62
+
+
+#: per-class cache of wheel-bound companion classes (see _wheel_bound_class)
+_WHEEL_BOUND: dict = {}
+
+
+def _wheel_bound_class(cls):
+    """A cached companion subclass of ``cls`` pinned to the wheel path.
+
+    Two costs disappear at once.  ``ArraySimulator.routers`` is a data
+    descriptor (the property that materializes array state on external
+    reads), so it intercepts every read even after the mode is
+    irreversibly "wheel" — and the wheel hot path reads ``self.routers``
+    on every scheduled arrival; the companion shadows it with a plain
+    class attribute.  And the dispatch overrides (``step`` & co.) are
+    shadowed with the parent's functions *at the class level* — binding
+    them as instance attributes would dodge the per-call mode test but
+    defeats CPython's adaptive call-site specialization, which is
+    measurably worse than the test it removes.
+    """
+    sub = _WHEEL_BOUND.get(cls)
+    if sub is None:
+        ns = {"routers": None, "_wheel_bound": True}
+        for name in ("step", "inject_packet", "total_buffered_flits",
+                     "arrivals_due", "_next_event_cycle",
+                     "_fast_forward_target"):
+            ns[name] = getattr(Simulator, name)
+        sub = type(cls.__name__, (cls,), ns)
+        _WHEEL_BOUND[cls] = sub
+    return sub
 
 
 def _grow(arr, needed: int, fill: int = 0):
@@ -137,6 +191,23 @@ class ArraySimulator(Simulator):
             self._mode = "array"
         else:
             self._mode = "wheel"
+            self._bind_wheel_dispatch()
+
+    def _bind_wheel_dispatch(self) -> None:
+        """Pin the dispatch to the wheel path (mode is final).
+
+        Once the mode is irreversibly "wheel", the per-call mode test in
+        every override is pure overhead — the fallback would run a few
+        percent slower than a plain wheel :class:`Simulator` for no
+        reason.  Flip the instance onto the wheel-bound companion class
+        (see :func:`_wheel_bound_class`): the overrides and the
+        ``routers`` property are shadowed there at the class level, so
+        dispatch costs exactly what it does on the plain wheel engine.
+        """
+        if "_wheel_bound" not in type(self).__dict__:
+            routers = self._routers_list
+            self.__class__ = _wheel_bound_class(type(self))
+            self.routers = routers
 
     def add_tap(self, tap):
         """Attach a tap; non-eject-only taps end the array fast path.
@@ -305,6 +376,13 @@ class ArraySimulator(Simulator):
         self._fl_head = _np.zeros(0, bool)
         self._fl_tail = _np.zeros(0, bool)
         self._fl_next = _np.zeros(0, i64)
+        # cached next-hop decision per flit: the (output, VC) this flit
+        # requests at the router it currently sits in.  Minimal routing
+        # makes this a pure function of (packet route, hop), so it is
+        # written once at injection and refreshed at each grant instead
+        # of being re-derived from the route pool on every alloc scan.
+        self._fl_eff_op = _np.zeros(0, i64)
+        self._fl_eff_fovc = _np.zeros(0, i64)
         self._fl_free: list[int] = []
         self._fl_used = 0
         self._pk_birth = _np.zeros(0, i64)
@@ -351,9 +429,68 @@ class ArraySimulator(Simulator):
         else:
             n = -(-size // fs)
             self._flit_sizes = (fs,) * (n - 1) + (size - fs * (n - 1),)
+        # single-flit packets (VCT, or WH with flit >= packet): every
+        # flit is head and tail, so routes are never held and output-VC
+        # ownership never engages — the allocator skips that machinery
+        self._sf = len(self._flit_sizes) == 1
         # per-output arrival delay for whole-packet (VCT) sends; WH delay
         # depends on the flit size and is computed at grant time
         self._op_delay_vct = op_lat + 1 + self._router_latency
+
+        # ---- batched-injection support: node-level lookup tables (src
+        # node -> injection port/VC, dst node -> eject port/VC) and a
+        # dense (src_router, dst_router) -> route-table id so a whole
+        # cycle's batch resolves its routes with two gathers
+        topo = self.topo
+        nn = topo.num_nodes
+        node_rt = _np.empty(nn, i64)
+        node_k = _np.empty(nn, i64)
+        for node in range(nn):
+            node_rt[node] = topo.router_of_node(node)
+            node_k[node] = topo.node_index(node)
+        self._node_rt = node_rt
+        self._node_kidx = node_k
+        self._node_fp = node_rt * nin + node_k
+        self._node_ivc = ip_vcbase[self._node_fp]  # injection ports: one VC
+        node_ej_op = node_rt * nout + node_k
+        self._node_ej_op = node_ej_op
+        self._node_ej_ovc = ovc_base[node_ej_op]
+        self._pair_rid = _np.full(nr * nr, -1, i64)
+        self._pr_off = _np.zeros(0, i64)
+        self._pr_nh = _np.zeros(0, i64)
+        self._pr_hops = _np.zeros(0, i64)
+        self._pr_ent: list = []
+        # lazy-packet SoA: identity fields for batch-injected packets;
+        # the Packet object is reconstructed on demand (_ensure_pkt)
+        self._pk_pid = _np.zeros(0, i64)
+        self._pk_src = _np.zeros(0, i64)
+        self._pk_dst = _np.zeros(0, i64)
+        self._pk_rid = _np.zeros(0, i64)
+        self._pk_lazy = _np.zeros(0, bool)
+        #: flat input ports with ip_buffered > 0 (sparse-activity index)
+        self._act_set: set = set()
+        #: earliest cycle the allocator could grant (alloc-skip gate);
+        #: every arrival/credit/injection resets it to 0
+        self._next_alloc_t = 0
+        #: candidate build reused across no-grant retries (_array_alloc);
+        #: every buffer-mutating event drops it
+        self._alloc_cache = None
+        #: scan structure (ports, pair layout) keyed on _act_epoch —
+        #: reused while the set of active ports is membership-stable
+        self._alloc_struct = None
+        self._act_epoch = 0
+        self._np_ports = np_ports
+        #: full-fabric pair layout (key None): used when most ports are
+        #: active, so membership churn never forces a rebuild — the
+        #: buffered-head filter does the activity cut instead
+        self._static_struct = None
+        #: output VCs whose credits could unlock a grant (None = any)
+        self._credit_watch = None
+        #: (traffic identity, its inject_batch) — per-cycle getattr saved
+        self._tb_cache: tuple = (None, None)
+        #: (observer-list identity, batch forms) cache, see
+        #: _delivery_batch_observers
+        self._obs_batch: tuple = (None, None)
 
     def _alloc_pkt_slot(self) -> int:
         if self._pk_free:
@@ -361,14 +498,17 @@ class ArraySimulator(Simulator):
         s = self._pk_used
         self._pk_used += 1
         if s >= len(self._pk_birth):
-            self._pk_birth = _grow(self._pk_birth, s + 1)
-            self._pk_off = _grow(self._pk_off, s + 1)
-            self._pk_hop = _grow(self._pk_hop, s + 1)
-            self._pk_nh = _grow(self._pk_nh, s + 1)
-            self._pk_ej_op = _grow(self._pk_ej_op, s + 1)
-            self._pk_ej_ovc = _grow(self._pk_ej_ovc, s + 1)
-            self._pkt_obj.extend([None] * (len(self._pk_birth) - len(self._pkt_obj)))
+            self._grow_pkt_pool(s + 1)
         return s
+
+    _PK_ARRAYS = ("_pk_birth", "_pk_off", "_pk_hop", "_pk_nh", "_pk_ej_op",
+                  "_pk_ej_ovc", "_pk_pid", "_pk_src", "_pk_dst", "_pk_rid",
+                  "_pk_lazy")
+
+    def _grow_pkt_pool(self, need: int) -> None:
+        for name in self._PK_ARRAYS:
+            setattr(self, name, _grow(getattr(self, name), need))
+        self._pkt_obj.extend([None] * (len(self._pk_birth) - len(self._pkt_obj)))
 
     def _alloc_fl_slots(self, n: int) -> list[int]:
         free = self._fl_free
@@ -378,14 +518,19 @@ class ArraySimulator(Simulator):
             s = self._fl_used
             self._fl_used += 1
             if s >= len(self._fl_pkt):
-                self._fl_pkt = _grow(self._fl_pkt, s + 1)
-                self._fl_size = _grow(self._fl_size, s + 1)
-                self._fl_idx = _grow(self._fl_idx, s + 1)
-                self._fl_head = _grow(self._fl_head, s + 1)
-                self._fl_tail = _grow(self._fl_tail, s + 1)
-                self._fl_next = _grow(self._fl_next, s + 1, fill=-1)
+                self._grow_fl_pool(s + 1)
             slots.append(s)
         return slots
+
+    def _grow_fl_pool(self, need: int) -> None:
+        self._fl_pkt = _grow(self._fl_pkt, need)
+        self._fl_size = _grow(self._fl_size, need)
+        self._fl_idx = _grow(self._fl_idx, need)
+        self._fl_head = _grow(self._fl_head, need)
+        self._fl_tail = _grow(self._fl_tail, need)
+        self._fl_next = _grow(self._fl_next, need, fill=-1)
+        self._fl_eff_op = _grow(self._fl_eff_op, need)
+        self._fl_eff_fovc = _grow(self._fl_eff_fovc, need)
 
     # ------------------------------------------------------------ injection
     def _walk_route(self, sr: int, dr: int, pkt: Packet) -> tuple:
@@ -543,6 +688,13 @@ class ArraySimulator(Simulator):
         self._fl_head[fs] = fl_hd
         self._fl_tail[fs] = fl_tl
         self._fl_next[fs] = -1
+        fps_of_flit = asarray(fl_pkt, i64)
+        off = self._pk_off[fps_of_flit]
+        in_rt = self._pk_nh[fps_of_flit] > 0
+        self._fl_eff_op[fs] = _np.where(in_rt, self._rt_op[off],
+                                        self._pk_ej_op[fps_of_flit])
+        self._fl_eff_fovc[fs] = _np.where(in_rt, self._rt_fovc[off],
+                                          self._pk_ej_ovc[fps_of_flit])
         if ln_src:
             self._fl_next[asarray(ln_src, i64)] = ln_dst
         # per-VC FIFO appends: one aggregated chain per injection VC
@@ -556,12 +708,220 @@ class ArraySimulator(Simulator):
         self._fl_next[tails[~em]] = firsts[~em]
         self._vb_tail[ivcs] = [e[1] for e in agg]
         self._vb_occ[ivcs] += asarray([e[3] for e in agg], i64)
-        self._ip_buffered[asarray([e[4] for e in agg], i64)] += \
+        fps = [e[4] for e in agg]
+        self._ip_buffered[asarray(fps, i64)] += \
             asarray([e[2] for e in agg], i64)
+        # injection ports have one VC each, so a new head (em) and a
+        # newly active port are the same condition; appends behind an
+        # existing tail leave the candidate matrix intact
+        act = self._act_set
+        if not act.issuperset(fps):
+            act.update(fps)
+            self._act_epoch += 1
+            self._alloc_cache = None
+        self._next_alloc_t = 0
         self._stage = ([], [], [], [], [], [])
         self._stage_fl = ([], [], [], [], [], [], [], [])
         self._stage_ivc = {}
         self._stage_n = 0
+
+    def _pair_entry(self, src: int, dst: int, sr: int, dr: int, t: int) -> int:
+        """Route-table id for ``(sr, dr)``, walking the route on a miss.
+
+        Shares the scalar path's ``_route_cache`` entries (and its route
+        pool) — a pair walked by either path serves both.  The walk
+        needs a Packet for the routing oracle's counter reads; a
+        throwaway one (pid -1) stands in, since minimal routes depend
+        only on the router pair.
+        """
+        ent = self._route_cache.get((sr, dr))
+        if ent is None:
+            topo = self.topo
+            pkt = Packet(-1, src, dst, self._packet_phits, t,
+                         sr, topo.group_of(sr), dr, topo.group_of(dr))
+            ent = self._walk_route(sr, dr, pkt)
+        rid = len(self._pr_ent)
+        self._pr_ent.append(ent)
+        self._pr_off = _grow(self._pr_off, rid + 1)
+        self._pr_nh = _grow(self._pr_nh, rid + 1)
+        self._pr_hops = _grow(self._pr_hops, rid + 1)
+        self._pr_off[rid] = ent[0]
+        self._pr_nh[rid] = ent[1]
+        self._pr_hops[rid] = ent[2] + ent[4]  # g_hops + local_hops_total
+        self._pair_rid[sr * self._nr + dr] = rid
+        return rid
+
+    def _array_inject_batch(self, srcs, dsts, t: int) -> None:
+        """Consume one cycle's batched injections without Packet objects.
+
+        The vectorized path covers the case that matters: single-flit
+        packets (VCT, or WH with flit >= packet), strictly ascending
+        sources (what ``inject_batch`` emits — at most one packet per
+        node per cycle), and a stats sink that understands batch counts.
+        Packets land *lazy*: identity lives in the SoA and the object is
+        only reconstructed if something needs it.  Anything else falls
+        through to the scalar injection loop — same records either way.
+        """
+        if (len(self._flit_sizes) != 1
+                or bool((srcs[1:] <= srcs[:-1]).any())
+                or not hasattr(self.stats, "on_generated_batch")):
+            inject = self._array_inject
+            for s, d in zip(srcs.tolist(), dsts.tolist()):
+                inject(s, d, t)
+            return
+        i64 = _np.int64
+        nb = int(srcs.size)
+        node_rt = self._node_rt
+        sr = node_rt[srcs]
+        dr = node_rt[dsts]
+        pair = sr * self._nr + dr
+        rid = self._pair_rid[pair]
+        miss = rid < 0
+        if miss.any():
+            pair_rid = self._pair_rid
+            pair_entry = self._pair_entry
+            for i in miss.nonzero()[0].tolist():
+                if pair_rid[pair[i]] < 0:
+                    pair_entry(int(srcs[i]), int(dsts[i]),
+                               int(sr[i]), int(dr[i]), t)
+            rid = pair_rid[pair]
+
+        # ---- slot allocation: recycled free-list slots first, then a
+        # contiguous block off the end of each pool
+        ps = _np.empty(nb, i64)
+        free = self._pk_free
+        take = min(nb, len(free))
+        if take:  # bulk pop, preserving pop-from-the-end order
+            ps[:take] = free[:-take - 1:-1]
+            del free[-take:]
+        rest = nb - take
+        if rest:
+            s0 = self._pk_used
+            self._pk_used = s0 + rest
+            if self._pk_used > len(self._pk_birth):
+                self._grow_pkt_pool(self._pk_used)
+            ps[take:] = _np.arange(s0, s0 + rest)
+        fs = _np.empty(nb, i64)
+        ffree = self._fl_free
+        take = min(nb, len(ffree))
+        if take:
+            fs[:take] = ffree[:-take - 1:-1]
+            del ffree[-take:]
+        rest = nb - take
+        if rest:
+            s0 = self._fl_used
+            need = s0 + rest
+            self._fl_used = need
+            if need > len(self._fl_pkt):
+                self._grow_fl_pool(need)
+            fs[take:] = _np.arange(s0, need)
+
+        pid0 = self._next_pid
+        self._next_pid = pid0 + nb
+        self._pk_pid[ps] = _np.arange(pid0, pid0 + nb)
+        self._pk_src[ps] = srcs
+        self._pk_dst[ps] = dsts
+        self._pk_rid[ps] = rid
+        self._pk_lazy[ps] = True
+        self._pk_birth[ps] = t
+        self._pk_hop[ps] = 0
+        off = self._pr_off[rid]
+        ej_op = self._node_ej_op[dsts]
+        ej_ovc = self._node_ej_ovc[dsts]
+        self._pk_off[ps] = off
+        self._pk_nh[ps] = self._pr_nh[rid]
+        self._pk_ej_op[ps] = ej_op
+        self._pk_ej_ovc[ps] = ej_ovc
+        size = self._packet_phits
+        self._fl_pkt[fs] = ps
+        self._fl_size[fs] = size
+        self._fl_idx[fs] = 0
+        self._fl_head[fs] = True
+        self._fl_tail[fs] = True
+        self._fl_next[fs] = -1
+        # next-hop at the injection router (hop 0): first stored hop,
+        # or straight to eject when src and dst share a router
+        in_rt = self._pr_nh[rid] > 0
+        self._fl_eff_op[fs] = _np.where(in_rt, self._rt_op[off], ej_op)
+        self._fl_eff_fovc[fs] = _np.where(in_rt, self._rt_fovc[off], ej_ovc)
+        # FIFO appends: sources are unique, so every injection VC gains
+        # exactly one tail flit — one scatter per field
+        ivcs = self._node_ivc[srcs]
+        tails = self._vb_tail[ivcs]
+        em = tails < 0
+        self._vb_head[ivcs[em]] = fs[em]
+        self._fl_next[tails[~em]] = fs[~em]
+        self._vb_tail[ivcs] = fs
+        self._vb_occ[ivcs] += size
+        fps = self._node_fp[srcs]
+        self._ip_buffered[fps] += 1
+        # injection ports have one VC each: a new head and a newly
+        # active port coincide, and appends behind existing backlog
+        # (the saturated steady state) leave the candidate matrix valid
+        fpl = fps.tolist()
+        act = self._act_set
+        if not act.issuperset(fpl):
+            act.update(fpl)
+            self._act_epoch += 1
+            self._alloc_cache = None
+        self._buf_total += nb
+        self.packets_in_flight += nb
+        self.stats.on_generated_batch(nb)
+        self._next_alloc_t = 0
+
+    def _ensure_pkt(self, ps: int) -> Packet:
+        """The Packet object of slot ``ps``, reconstructing a lazy one.
+
+        The reconstruction is exactly what the scalar inject would have
+        built: final route-walk counters (a later rewind rolls them
+        back to the granted prefix when needed) and, with record_hops,
+        the prefilled hop log.
+        """
+        pkt = self._pkt_obj[ps]
+        if pkt is not None:
+            return pkt
+        topo = self.topo
+        src = int(self._pk_src[ps])
+        dst = int(self._pk_dst[ps])
+        sr = int(self._node_rt[src])
+        dr = int(self._node_rt[dst])
+        pkt = Packet(int(self._pk_pid[ps]), src, dst, self._packet_phits,
+                     int(self._pk_birth[ps]), sr, topo.group_of(sr), dr,
+                     topo.group_of(dr))
+        ent = self._pr_ent[int(self._pk_rid[ps])]
+        pkt.g_hops = ent[2]
+        pkt.local_hops_group = ent[3]
+        pkt.local_hops_total = ent[4]
+        pkt.prev_local_type = ent[5]
+        pkt.last_local_vc = ent[6]
+        if self._record_hops:
+            pkt.hops_log = [*ent[7],
+                            (self._int_eject, int(self._node_kidx[dst]), 0)]
+        self._pk_lazy[ps] = False
+        self._pkt_obj[ps] = pkt
+        return pkt
+
+    def _delivery_batch_observers(self):
+        """Batch forms of the delivery observers, or ``False``.
+
+        ``False`` means at least one observer has no ``on_eject_batch``
+        — deliveries must materialize the Packet and fire scalar.  The
+        result is cached on the observer list's identity (the list is
+        rebound copy-on-write by every attach/detach).
+        """
+        obs = self._delivery_observers
+        key, val = self._obs_batch
+        if key is obs:
+            return val
+        fns = []
+        for fn in obs:
+            bf = getattr(getattr(fn, "__self__", None), "on_eject_batch", None)
+            if bf is None:
+                fns = False
+                break
+            fns.append(bf)
+        self._obs_batch = (obs, fns)
+        return fns
 
     # ------------------------------------------------------------ main loop
     def _array_step(self) -> None:
@@ -570,98 +930,222 @@ class ArraySimulator(Simulator):
         chunks = self._a_arr_ring[slot]
         if chunks:
             vb_tail = self._vb_tail
+            act = self._act_set
             popped = 0
             for ivcs, flits in chunks:
                 tails = vb_tail[ivcs]
                 em = tails < 0
+                wp = self._vb_port[ivcs]
+                wpl = wp.tolist()
+                if not act.issuperset(wpl):
+                    # a previously idle port activates: new scan layout
+                    act.update(wpl)
+                    self._act_epoch += 1
+                    self._alloc_cache = None
+                elif self._alloc_cache is not None and bool(em.any()):
+                    # an arrival into an empty VC of an active port is a
+                    # new head — same layout, different candidates;
+                    # appends behind existing flits change neither
+                    self._alloc_cache = None
                 self._vb_head[ivcs[em]] = flits[em]
                 self._fl_next[tails[~em]] = flits[~em]
                 vb_tail[ivcs] = flits
                 self._vb_occ[ivcs] += self._fl_size[flits]
-                self._ip_buffered[self._vb_port[ivcs]] += 1
+                self._ip_buffered[wp] += 1
                 popped += len(ivcs)
             self._a_arr_ring[slot] = []
             self._pending_events -= popped
             self._buf_total += popped
             self._last_progress = t
+            self._next_alloc_t = 0
         cchunks = self._a_cr_ring[slot]
         if cchunks:
+            # credits wake the allocator only when a watched VC (an
+            # op-free pair short on exactly these credits) is topped up;
+            # a stale watch can only over-wake, never oversleep, because
+            # the gate is beyond ``t`` only right after a no-grant score
+            watch = self._credit_watch
+            wake = watch is None
             for ovcs, amounts in cchunks:
                 self._ov_credits[ovcs] += amounts
                 self._pending_events -= len(ovcs)
+                if not wake and watch and not watch.isdisjoint(
+                        ovcs.tolist()):
+                    wake = True
             self._a_cr_ring[slot] = []
             self._last_progress = t
-        if self.traffic is not None:
-            self.traffic.inject(self, t)
+            if wake:
+                self._next_alloc_t = 0
+                self._credit_watch = None
+        traffic = self.traffic
+        if traffic is not None:
+            # batched-injection protocol (see processes.BernoulliTraffic):
+            # one cycle's (srcs, dsts) in bulk when the process offers
+            # it, the scalar per-packet loop otherwise.  Out-of-step
+            # injections staged before this cycle flush first so FIFO
+            # order within each injection VC is preserved.
+            tb = self._tb_cache
+            if tb[0] is not traffic:
+                tb = (traffic, getattr(traffic, "inject_batch", None))
+                self._tb_cache = tb
+            inject_batch = tb[1]
+            batch = None if inject_batch is None else inject_batch(self, t)
+            if batch is None:
+                traffic.inject(self, t)
+            elif len(batch[0]):
+                if self._stage_n:
+                    self._flush_injections()
+                self._array_inject_batch(batch[0], batch[1], t)
         if self._stage_n:
             self._flush_injections()
-        if self._buf_total:
+        if self._buf_total and t >= self._next_alloc_t:
             self._array_alloc(t)
         self.now = t + 1
 
-    def _array_alloc(self, t: int) -> None:
-        ip_buffered = self._ip_buffered
-        cand = (ip_buffered > 0) & (self._ip_busy <= t)
-        if not cand.any():
-            return
-        ports = cand.nonzero()[0]  # ascending flat port id == wheel scan order
-        nvc = self._ip_nvc[ports]
-        rr = self._ip_rr[ports]
-        vb_head = self._vb_head
-        fl_pkt, fl_size, fl_tail = self._fl_pkt, self._fl_size, self._fl_tail
-        ov_credits, ov_owner = self._ov_credits, self._ov_owner
-        rt_cap = len(self._rt_op) - 1
+    def _build_pair_struct(self, ports, key):
+        """Flattened (port, VC-offset) scan layout over ``ports``.
 
+        Pure membership function: reusable until the port list changes
+        (``key`` is the act-epoch it was built for, or None for the
+        full-fabric layout, which never goes stale).
+        """
+        nvc = self._ip_nvc[ports]
+        n = len(ports)
+        starts = _np.zeros(n, _np.int64)
+        _np.cumsum(nvc[:-1], out=starts[1:])
+        total = int(starts[-1] + nvc[-1]) if n else 0
+        reps = _np.repeat(_np.arange(n), nvc)  # port position per pair
+        off = _np.arange(total) - starts[reps]
+        return (key, ports, reps, off, nvc[reps],
+                self._ip_vcbase[ports][reps], ports[reps])
+
+    def _array_alloc(self, t: int) -> None:
+        # Retry fast path: between events the candidate-pair matrix is
+        # invariant — credits, owners and busy-vs-now are the only
+        # moving parts — so a build from an earlier no-grant cycle is
+        # re-scored with a handful of gathers.  Every event-driven way
+        # the candidate set can change invalidates the cache at the
+        # event site; port/output busy expiries are pure functions of
+        # ``t`` and live in the score.
+        c = self._alloc_cache
+        if c is not None:
+            self._alloc_score(t, c)
+            return
+        # sparse-activity compaction: scan only the ports that hold
+        # flits (sorted — ascending flat port id is the wheel scan
+        # order).  The flattened (port, offset) layout depends only on
+        # the membership of the active set, so it is cached and reused
+        # across builds until a port activates or drains (_act_epoch).
+        # A saturated fabric churns membership at the transit-port
+        # margin every cycle; there the full-fabric layout (key None,
+        # built once) wins — the buffered-head filter cuts idle VCs
+        # anyway — with hysteresis so drains fall back to compaction.
+        s = self._alloc_struct
+        act = self._act_set
+        np_p = self._np_ports
+        if (s is None
+                or (s[0] is None and 16 * len(act) < np_p)
+                or (s[0] is not None and s[0] != self._act_epoch)):
+            if 8 * len(act) >= np_p:
+                s = self._static_struct
+                if s is None:
+                    s = self._build_pair_struct(_np.arange(np_p), None)
+                    self._static_struct = s
+            else:
+                ports = _np.fromiter(act, _np.int64, len(act))
+                ports.sort()
+                s = self._build_pair_struct(ports, self._act_epoch)
+            self._alloc_struct = s
+        _, ports, reps, off, nvp, vcb, spp = s
+        if not len(ports):
+            return
         # flatten the round-robin VC scan into one (port, offset) pair
         # matrix, port-major / offset-minor: for each candidate port,
         # offset o visits VC (rr + o) mod nvc.  The first *sendable*
         # pair per port wins — exactly the wheel's scan-and-break —
         # and port-major order makes "first" a plain first-occurrence.
-        starts = _np.zeros(len(ports), _np.int64)
-        _np.cumsum(nvc[:-1], out=starts[1:])
-        total = starts[-1] + nvc[-1] if len(ports) else 0
-        reps = _np.repeat(_np.arange(len(ports)), nvc)  # port position per pair
-        off = _np.arange(total) - starts[reps]
-        vi = rr[reps] + off
-        nvp = nvc[reps]
+        vi = self._ip_rr[ports][reps] + off
         vi -= (vi >= nvp) * nvp
-        ivc = self._ip_vcbase[ports][reps] + vi
-        head = vb_head[ivc]
+        ivc = vcb + vi
+        head = self._vb_head[ivc]
         pi = (head >= 0).nonzero()[0]  # pairs with a buffered flit
         if not len(pi):
+            self._credit_watch = None  # defensive: wake on any credit
             return
         reps = reps[pi]
         ivc = ivc[pi]
         vi = vi[pi]
         head = head[pi]
-        rop = self._vb_route_op[ivc]
-        alloc = rop >= 0
-        pslot = fl_pkt[head]
-        hop = self._pk_hop[pslot]
-        # heads past their stored hops are at the destination router:
-        # the eject hop is implicit (per-packet, not in the shared route)
-        in_rt = hop < self._pk_nh[pslot]
-        ridx = _np.minimum(self._pk_off[pslot] + hop, rt_cap)
-        eff_op = _np.where(alloc, rop,
-                           _np.where(in_rt, self._rt_op[ridx],
-                                     self._pk_ej_op[pslot]))
-        eff_fovc = _np.where(alloc, self._vb_route_fovc[ivc],
-                             _np.where(in_rt, self._rt_fovc[ridx],
-                                       self._pk_ej_ovc[pslot]))
-        size = fl_size[head]
-        tail = fl_tail[head]
-        owner = ov_owner[eff_fovc]
-        own_ok = _np.where(alloc, owner == pslot, tail | (owner < 0))
-        sendable = (self._op_busy[eff_op] <= t) & (
-            self._op_eject[eff_op] | ((ov_credits[eff_fovc] >= size) & own_ok))
+        pslot = self._fl_pkt[head]
+        if self._sf:
+            # single-flit: routes are never held, the cached per-flit
+            # next-hop is always the live one
+            alloc = None
+            eff_op = self._fl_eff_op[head]
+            eff_fovc = self._fl_eff_fovc[head]
+        else:
+            rop = self._vb_route_op[ivc]
+            alloc = rop >= 0
+            eff_op = _np.where(alloc, rop, self._fl_eff_op[head])
+            eff_fovc = _np.where(alloc, self._vb_route_fovc[ivc],
+                                 self._fl_eff_fovc[head])
+        spp = spp[pi]
+        ob = self._op_busy[eff_op]
+        pb = self._ip_busy[spp]
+        c = (spp, reps, ivc, vi, head, pslot, alloc,
+             eff_op, eff_fovc, self._fl_size[head], self._fl_tail[head],
+             self._op_eject[eff_op], ob, pb, _np.maximum(ob, pb))
+        self._alloc_cache = c
+        self._alloc_score(t, c)
+
+    def _alloc_score(self, t: int, c) -> None:
+        """Score a candidate build against live credit/owner state.
+
+        Everything in ``c`` is event-invariant (see :meth:`_array_alloc`);
+        the credit/owner gathers here are the only state that moves
+        between events, and the cached busy-timers only move against
+        ``t``.
+        """
+        (sp, reps, ivc, vi, head, pslot, alloc,
+         eff_op, eff_fovc, size, tail, ej, ob, pb, bmax) = c
+        cr_ok = self._ov_credits[eff_fovc] >= size
+        busy_ok = bmax <= t  # fused input-port and output readiness
+        if alloc is None:  # single-flit: ownership never engages
+            sendable = busy_ok & (ej | cr_ok)
+        else:
+            owner = self._ov_owner[eff_fovc]
+            own_ok = _np.where(alloc, owner == pslot, tail | (owner < 0))
+            sendable = busy_ok & (ej | (cr_ok & own_ok))
         si = sendable.nonzero()[0]
         if not len(si):
+            # every blocked pair waits on a busy-timer (known future
+            # cycle) or on credits/owner state (pure event); nothing
+            # can change before min(wake) without an event, and events
+            # reset the gate.  The watch-set narrows the credit case:
+            # only credits for a ready, op-free, credit-short pair's VC
+            # can produce a grant before the wake cycle.
+            wake = _ALLOC_IDLE
+            fut = pb[pb > t]
+            if len(fut):
+                wake = int(fut.min())
+            fut = ob[ob > t]
+            if len(fut):
+                w2 = int(fut.min())
+                if w2 < wake:
+                    wake = w2
+            self._credit_watch = set(
+                eff_fovc[busy_ok & ~ej & ~cr_ok].tolist())
+            self._next_alloc_t = wake
             return
-        # first sendable pair per port: pairs are in (port, offset) order,
-        # so unique's first-occurrence index is the wheel's winning VC
-        _, first = _np.unique(reps[si], return_index=True)
+        # first sendable pair per port: pairs are in (port, offset)
+        # order, so reps[si] is sorted and a neighbour-diff flags each
+        # port's first occurrence — the wheel's winning VC
+        rsi = reps[si]
+        first = _np.empty(len(rsi), bool)
+        first[0] = True
+        first[1:] = rsi[1:] != rsi[:-1]
         w = si[first]
-        sp = ports[reps[w]]
+        sp = sp[w]
         sflit = head[w]
         sivc = ivc[w]
         svi = vi[w]
@@ -673,11 +1157,12 @@ class ArraySimulator(Simulator):
         lidx = self._ip_lidx[sp]
         nin = self._nin
         if self._age_arb:
-            order = _np.lexsort((lidx, self._pk_birth[fl_pkt[sflit]], sop))
+            order = _np.lexsort((lidx, self._pk_birth[pslot[w]], sop))
         else:
             order = _np.lexsort(((lidx - self._op_rr[sop]) % nin, sop))
         ssop = sop[order]
-        firsts = _np.ones(len(order), bool)
+        firsts = _np.empty(len(order), bool)
+        firsts[0] = True
         firsts[1:] = ssop[1:] != ssop[:-1]
         winners = order[firsts]  # one per requested output, by ascending output
         # wheel grant order: ascending flat port id of each output's
@@ -685,7 +1170,8 @@ class ArraySimulator(Simulator):
         # routers in ascending id)
         by_port = _np.lexsort((sp, sop))
         bp_sop = sop[by_port]
-        bp_first = _np.ones(len(by_port), bool)
+        bp_first = _np.empty(len(by_port), bool)
+        bp_first[0] = True
         bp_first[1:] = bp_sop[1:] != bp_sop[:-1]
         first_sp = sp[by_port[bp_first]]  # aligned: unique outputs ascending
         winners = winners[_np.argsort(first_sp, kind="stable")]
@@ -694,38 +1180,54 @@ class ArraySimulator(Simulator):
                            sflit[winners], sop[winners], sfovc[winners])
 
     def _apply_grants(self, t, wp, wivc, wvi, wflit, wop, wfovc) -> None:
+        self._alloc_cache = None  # grants move heads, busies and pointers
         fl_next = self._fl_next
+        sf = self._sf
         size = self._fl_size[wflit]
-        tail = self._fl_tail[wflit]
-        head = self._fl_head[wflit]
         pslot = self._fl_pkt[wflit]
+        if not sf:
+            tail = self._fl_tail[wflit]
+            head = self._fl_head[wflit]
         # FIFO pop + port/output bookkeeping
         nxt = fl_next[wflit]
         self._vb_head[wivc] = nxt
-        self._vb_tail[wivc] = _np.where(nxt < 0, -1, self._vb_tail[wivc])
+        drained = nxt < 0
+        if drained.any():  # rare at saturation: VC emptied by this pop
+            self._vb_tail[wivc[drained]] = -1
         fl_next[wflit] = -1
         self._vb_occ[wivc] -= size
-        self._ip_buffered[wp] -= 1
+        ip_buffered = self._ip_buffered
+        ip_buffered[wp] -= 1
+        emptied = wp[ip_buffered[wp] == 0]
+        if len(emptied):
+            self._act_set.difference_update(emptied.tolist())
+            self._act_epoch += 1
         self._buf_total -= len(wp)
         busy = t + size
         self._ip_busy[wp] = busy
         self._op_busy[wop] = busy
         self._ip_rr[wp] = (wvi + 1) % self._ip_nvc[wp]
         self._op_rr[wop] = (self._ip_lidx[wp] + 1) % self._nin
-        self._pk_hop[pslot[head]] += 1  # one head per packet per cycle
         eject = self._op_eject[wop]
-        # route hold (head, more flits follow) / release (tail of a
-        # multi-flit packet); single-flit packets never store a route
-        hold = head & ~tail
-        self._vb_route_op[wivc[hold]] = wop[hold]
-        self._vb_route_fovc[wivc[hold]] = wfovc[hold]
-        own = hold & ~eject
-        self._ov_owner[wfovc[own]] = pslot[own]
-        rel = tail & ~head
-        self._vb_route_op[wivc[rel]] = -1
-        self._vb_route_fovc[wivc[rel]] = -1
-        free = rel & ~eject
-        self._ov_owner[wfovc[free]] = -1
+        if sf:
+            # single-flit: every winner is its packet's only flit (a
+            # packet appears at most once per grant batch), and routes
+            # are never held — skip the hold/release machinery
+            self._pk_hop[pslot] += 1
+        else:
+            self._pk_hop[pslot[head]] += 1  # one head per packet per cycle
+            # route hold (head, more flits follow) / release (tail of a
+            # multi-flit packet)
+            hold = head & ~tail
+            self._vb_route_op[wivc[hold]] = wop[hold]
+            self._vb_route_fovc[wivc[hold]] = wfovc[hold]
+            own = hold & ~eject
+            self._ov_owner[wfovc[own]] = pslot[own]
+            rel = tail & ~head
+            self._vb_route_op[wivc[rel]] = -1
+            self._vb_route_fovc[wivc[rel]] = -1
+            free = rel & ~eject
+            self._ov_owner[wfovc[free]] = -1
 
         # ---- link sends: debit credits, schedule arrivals by delay class
         ne = ~eject
@@ -739,11 +1241,29 @@ class ArraySimulator(Simulator):
                 delay = self._op_lat[wop[ne]] + ne_size + self._router_latency
             dest = self._ov_dest_ivc[ne_fovc]
             ne_flit = wflit[ne]
+            # refresh the sent flits' next-hop decision for the router
+            # they are entering (pk_hop already advanced for heads)
+            ne_ps = pslot[ne]
+            hop = self._pk_hop[ne_ps]
+            in_rt = hop < self._pk_nh[ne_ps]
+            ridx = _np.minimum(self._pk_off[ne_ps] + hop,
+                               len(self._rt_op) - 1)
+            self._fl_eff_op[ne_flit] = _np.where(
+                in_rt, self._rt_op[ridx], self._pk_ej_op[ne_ps])
+            self._fl_eff_fovc[ne_flit] = _np.where(
+                in_rt, self._rt_fovc[ridx], self._pk_ej_ovc[ne_ps])
             ring = self._a_arr_ring
             horizon = self._horizon
-            for d in _np.unique(delay):
-                m = delay == d
-                ring[(t + int(d)) % horizon].append((dest[m], ne_flit[m]))
+            dl = delay.tolist()
+            classes = set(dl)
+            if len(classes) == 1:  # common: one delay class
+                ring[(t + dl[0]) % horizon].append((dest, ne_flit))
+            else:
+                # distinct delays land in distinct ring slots (horizon
+                # exceeds any delay), so class order is irrelevant
+                for d in classes:
+                    m = delay == d
+                    ring[(t + d) % horizon].append((dest[m], ne_flit[m]))
             self._pending_events += len(ne_flit)
 
         # ---- upstream credit returns, grouped by link latency
@@ -755,32 +1275,58 @@ class ArraySimulator(Simulator):
             u_size = size[um]
             cring = self._a_cr_ring
             horizon = self._horizon
-            for lv in _np.unique(u_lat):
-                m = u_lat == lv
-                cring[(t + int(lv)) % horizon].append((u_ovc[m], u_size[m]))
+            ll = u_lat.tolist()
+            classes = set(ll)
+            if len(classes) == 1:
+                cring[(t + ll[0]) % horizon].append((u_ovc, u_size))
+            else:
+                for lv in classes:
+                    m = u_lat == lv
+                    cring[(t + lv) % horizon].append((u_ovc[m], u_size[m]))
             self._pending_events += len(u_ovc)
         self._last_progress = t
 
         # ---- ejected flits leave the pool; tails deliver (in grant order)
         if eject.any():
             self._fl_free.extend(wflit[eject].tolist())
-            deliver = eject & tail
+            deliver = eject if sf else (eject & tail)
             if deliver.any():
                 stats = self.stats
-                pobj = self._pkt_obj
-                pk_free = self._pk_free
-                for slot_, done in zip(pslot[deliver].tolist(),
-                                       busy[deliver].tolist()):
-                    pkt = pobj[slot_]
-                    pkt.delivered_cycle = done
-                    stats.on_delivered(pkt, done)
-                    self.packets_in_flight -= 1
-                    observers = self._delivery_observers
-                    if observers:
-                        for observer in observers:
-                            observer(pkt, done)
-                    pobj[slot_] = None
-                    pk_free.append(slot_)
+                dslots = pslot[deliver]
+                dones = busy[deliver]
+                # all-lazy deliveries with batch-capable sinks never
+                # materialize a Packet: counters and latency samples are
+                # computed straight from the SoA, in grant order
+                batch_obs = self._delivery_batch_observers()
+                if (batch_obs is not False
+                        and bool(self._pk_lazy[dslots].all())
+                        and hasattr(stats, "on_delivered_batch")):
+                    nd = len(dslots)
+                    lats = dones - self._pk_birth[dslots]
+                    stats.on_delivered_batch(
+                        nd, nd * self._packet_phits, int(lats.sum()),
+                        int(lats.max()),
+                        int(self._pr_hops[self._pk_rid[dslots]].sum()))
+                    self.packets_in_flight -= nd
+                    for fn in batch_obs:
+                        fn(lats, dones)
+                    self._pk_lazy[dslots] = False
+                    self._pk_free.extend(dslots.tolist())
+                else:
+                    pobj = self._pkt_obj
+                    pk_free = self._pk_free
+                    ensure = self._ensure_pkt
+                    for slot_, done in zip(dslots.tolist(), dones.tolist()):
+                        pkt = ensure(slot_)
+                        pkt.delivered_cycle = done
+                        stats.on_delivered(pkt, done)
+                        self.packets_in_flight -= 1
+                        observers = self._delivery_observers
+                        if observers:
+                            for observer in observers:
+                                observer(pkt, done)
+                        pobj[slot_] = None
+                        pk_free.append(slot_)
 
     # -------------------------------------------------------- materialization
     def _rewind_in_flight_packets(self) -> None:
@@ -802,10 +1348,13 @@ class ArraySimulator(Simulator):
         gbase = lbase + topo.local_ports
         rt_op, rt_fovc = self._rt_op, self._rt_fovc
         ovc_base = self._ovc_base
+        lazy = self._pk_lazy
         for ps in range(self._pk_used):
             pkt = self._pkt_obj[ps]
             if pkt is None:
-                continue
+                if not lazy[ps]:
+                    continue
+                pkt = self._ensure_pkt(ps)  # live lazy packet: reify it
             done = int(self._pk_hop[ps])
             if pkt.hops_log is not None:
                 del pkt.hops_log[done:]
@@ -927,6 +1476,14 @@ class ArraySimulator(Simulator):
         # drop the array state: the object graph is authoritative now
         self._a_arr_ring = self._a_cr_ring = None
         self._pkt_obj = []
+        self._pr_ent = None
+        self._act_set = None
+        self._alloc_cache = None
+        self._alloc_struct = None
+        self._static_struct = None
+        self._credit_watch = None
+        self._obs_batch = (None, None)
+        self._tb_cache = (None, None)
         for name in ("_ip_nvc", "_ip_vcbase", "_ip_busy", "_ip_rr",
                      "_ip_buffered", "_ip_lidx", "_vb_port", "_vb_vcidx",
                      "_vb_head", "_vb_tail", "_vb_occ", "_vb_route_op",
@@ -934,11 +1491,34 @@ class ArraySimulator(Simulator):
                      "_op_eject", "_op_lat", "_op_busy", "_op_rr",
                      "_ovc_base", "_ovc_out", "_ov_credits", "_ov_owner",
                      "_ov_dest_ivc", "_fl_pkt", "_fl_size", "_fl_idx",
-                     "_fl_head", "_fl_tail", "_fl_next", "_pk_birth",
+                     "_fl_head", "_fl_tail", "_fl_next", "_fl_eff_op",
+                     "_fl_eff_fovc", "_pk_birth",
                      "_pk_off", "_pk_hop", "_pk_nh", "_pk_ej_op",
-                     "_pk_ej_ovc", "_rt_op", "_rt_fovc", "_route_cache",
+                     "_pk_ej_ovc", "_pk_pid", "_pk_src", "_pk_dst",
+                     "_pk_rid", "_pk_lazy", "_pr_off", "_pr_nh", "_pr_hops",
+                     "_pair_rid", "_node_rt", "_node_kidx", "_node_fp",
+                     "_node_ivc", "_node_ej_op", "_node_ej_ovc",
+                     "_rt_op", "_rt_fovc", "_route_cache",
                      "_ovc_base_l", "_ip_vcbase_l", "_op_delay_vct"):
             setattr(self, name, None)
+        # the mode is final: pin dispatch to the wheel path
+        self._bind_wheel_dispatch()
 
 
-__all__ = ["ArraySimulator"]
+@ENGINE_REGISTRY.register(
+    "auto", description="array core when the point is eligible, wheel otherwise")
+class AutoSimulator(ArraySimulator):
+    """Per-point engine selection, as an engine.
+
+    :class:`ArraySimulator` already embeds the exact eligibility test —
+    it runs the SoA core when the configuration qualifies (array-core
+    routing, VCT/WH flow control, rr/age arbitration, no event taps)
+    and the byte-identical wheel path otherwise, with dispatch pinned
+    so the fallback costs nothing over a plain wheel run.  ``auto`` is
+    that behaviour under a name the sweep runner can default to: each
+    point in a sweep independently gets the fastest engine that
+    preserves the record bytes.
+    """
+
+
+__all__ = ["ArraySimulator", "AutoSimulator"]

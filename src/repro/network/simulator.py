@@ -335,8 +335,19 @@ class Simulator:
             self._pending_events -= len(bucket)
             bucket.clear()
             self._last_progress = t
-        if self.traffic is not None:
-            self.traffic.inject(self, t)
+        traffic = self.traffic
+        if traffic is not None:
+            # batched-injection protocol: a traffic process may hand over
+            # one cycle's (srcs, dsts) in bulk; the per-packet injection
+            # below preserves pid order, tap firing and routing exactly
+            inject_batch = getattr(traffic, "inject_batch", None)
+            batch = None if inject_batch is None else inject_batch(self, t)
+            if batch is None:
+                traffic.inject(self, t)
+            elif len(batch[0]):
+                inject_packet = self.inject_packet
+                for src, dst in zip(batch[0].tolist(), batch[1].tolist()):
+                    inject_packet(src, dst, t)
         per_cycle = self._per_cycle
         if per_cycle is not None:
             per_cycle(self, t)

@@ -19,8 +19,9 @@ class NodeShift(TrafficPattern):
     """Node-level shift: node ``i`` sends to node ``i + offset (mod N)``."""
 
     name = "shift"
+    deterministic = True
 
-    def __init__(self, offset: int) -> None:
+    def __init__(self, offset: int = 1) -> None:
         if offset == 0:
             raise ValueError("shift offset must be non-zero")
         self.offset = offset
@@ -34,6 +35,7 @@ class BitComplement(TrafficPattern):
     """Node ``i`` sends to node ``N-1-i`` (the bit-complement analogue)."""
 
     name = "bitcomp"
+    deterministic = True
 
     def dest(self, src: int, topo: Topology, rng) -> int:
         d = topo.num_nodes - 1 - src
@@ -67,7 +69,7 @@ class Hotspot(TrafficPattern):
 
     name = "hotspot"
 
-    def __init__(self, hot_node: int, fraction: float = 0.2) -> None:
+    def __init__(self, hot_node: int = 0, fraction: float = 0.2) -> None:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         self.hot_node = hot_node
@@ -89,6 +91,7 @@ class RandomPermutation(TrafficPattern):
     """
 
     name = "permutation"
+    deterministic = True  # draws from its own seeded RNG, never the stream
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

@@ -26,6 +26,11 @@ class TrafficPattern(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when :meth:`dest` never draws from ``rng`` — the destination
+    #: is a pure function of ``(src, topo)``.  Batched injectors use this
+    #: to vectorise the destination map instead of looping over hits.
+    deterministic: bool = False
+
     @abc.abstractmethod
     def dest(self, src: int, topo: Topology, rng) -> int:
         """A destination node for ``src``; never equal to ``src``."""

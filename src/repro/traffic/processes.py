@@ -2,8 +2,16 @@
 
 from __future__ import annotations
 
+import random
+
 from repro.registry import PROCESS_REGISTRY
-from repro.traffic.patterns import TrafficPattern
+from repro.traffic.mtstream import StreamRandom
+from repro.traffic.patterns import TrafficPattern, UniformRandom
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-free installs
+    _np = None
 
 
 @PROCESS_REGISTRY.register("bernoulli", description="open-loop Bernoulli sources at a fixed offered load")
@@ -19,6 +27,8 @@ class BernoulliTraffic:
             raise ValueError("load must be non-negative")
         self.pattern = pattern
         self.load = load
+        self._dest_map = None  # vectorised destination table (deterministic)
+        self._dest_topo = None
 
     @property
     def exhausted(self) -> bool:
@@ -43,6 +53,76 @@ class BernoulliTraffic:
                 d = dest(node, topo, rng)
                 if d != node:
                     inject_packet(node, d, now)
+
+    def inject_batch(self, sim, now: int):
+        """One cycle's injections as ``(srcs, dsts)`` index arrays.
+
+        The batched-injection protocol: engines call this instead of
+        :meth:`inject` when available, and consume the arrays without
+        per-packet Python work.  Returns ``None`` to decline (no numpy,
+        or an unrecognised RNG), in which case the engine falls back to
+        the scalar loop.
+
+        The draw stream is the scalar loop's, byte for byte: the first
+        call replaces ``sim.rng_traffic`` with a :class:`StreamRandom`
+        serving the same generator's word stream, the per-node gate
+        uniforms are scanned in bulk, and destination draws interleave
+        at the hits exactly as the scalar loop would make them.
+        Deterministic patterns skip the hit loop entirely via a
+        precomputed destination table.
+        """
+        if _np is None:
+            return None
+        p = self.load / sim.config.packet_phits
+        if p <= 0:
+            empty = _np.empty(0, dtype=_np.int64)
+            return empty, empty
+        rng = sim.rng_traffic
+        if type(rng) is not StreamRandom:
+            if type(rng) is not random.Random:
+                return None  # user-supplied RNG subclass: keep it scalar
+            rng = sim.rng_traffic = StreamRandom(rng)
+        topo = sim.topo
+        n = topo.num_nodes
+        pattern = self.pattern
+        if pattern.deterministic:
+            dmap = self._dest_map
+            if dmap is None or self._dest_topo is not topo:
+                dmap = _np.array(
+                    [pattern.dest(i, topo, None) for i in range(n)],
+                    dtype=_np.int64)
+                self._dest_map = dmap
+                self._dest_topo = topo
+            srcs = _np.flatnonzero(rng.uniform_block(n) < p)
+            dsts = dmap[srcs]
+            keep = dsts != srcs
+            if not keep.all():
+                srcs, dsts = srcs[keep], dsts[keep]
+            return srcs, dsts
+        if type(pattern) is UniformRandom and n > 1:
+            # The UN destination is exactly one ``_randbelow(n - 1)`` per
+            # hit and never equals the source, so the whole hit loop runs
+            # fused inside the stream walker (word consumption unchanged)
+            # and the ``d if d < src else d + 1`` mapping vectorises.
+            hit_srcs, hit_draws = rng.walk_gates_uniform(n, p, n - 1)
+            srcs_a = _np.array(hit_srcs, dtype=_np.int64)
+            d = _np.array(hit_draws, dtype=_np.int64)
+            return srcs_a, _np.where(d < srcs_a, d, d + 1)
+        srcs: list = []
+        dsts: list = []
+        add_src = srcs.append
+        add_dst = dsts.append
+        dest = pattern.dest
+
+        def on_hit(s: int) -> None:
+            d = dest(s, topo, rng)
+            if d != s:
+                add_src(s)
+                add_dst(d)
+
+        rng.walk_gates(n, p, on_hit)
+        return (_np.array(srcs, dtype=_np.int64),
+                _np.array(dsts, dtype=_np.int64))
 
 
 @PROCESS_REGISTRY.register("burst", description="each node queues a fixed burst at cycle 0")
@@ -72,11 +152,23 @@ class BurstTraffic:
         if self._injected:
             return
         self._injected = True
-        rng = sim.rng_traffic
         topo = sim.topo
         dest = self.pattern.dest
+        inject_packet = sim.inject_packet
+        ppn = self.packets_per_node
+        if self.pattern.deterministic:
+            # one destination evaluation per node instead of per packet;
+            # deterministic patterns draw nothing, so the RNG stream is
+            # untouched either way
+            for node in range(topo.num_nodes):
+                d = dest(node, topo, None)
+                if d != node:
+                    for _ in range(ppn):
+                        inject_packet(node, d, now)
+            return
+        rng = sim.rng_traffic
         for node in range(topo.num_nodes):
-            for _ in range(self.packets_per_node):
+            for _ in range(ppn):
                 d = dest(node, topo, rng)
                 if d != node:
-                    sim.inject_packet(node, d, now)
+                    inject_packet(node, d, now)

@@ -88,8 +88,26 @@ def test_point_emits_strict_json_for_empty_window(tmp_path, capsys):
 def test_point_command_rejects_bad_config(tmp_path, capsys):
     cfg_path = tmp_path / "bad.json"
     cfg_path.write_text(json.dumps({"rooting": "olm"}))
-    with pytest.raises(ValueError, match="unknown SimConfig field"):
-        main(["point", "--config", str(cfg_path), "--measure", "10"])
+    assert main(["point", "--config", str(cfg_path), "--measure", "10"]) == 2
+    assert "unknown SimConfig field" in capsys.readouterr().err
+
+
+def test_point_engine_flag_selects_backend(tmp_path, capsys):
+    out_path = tmp_path / "point.json"
+    assert main(["point", "--engine", "array", "--pattern", "uniform",
+                 "--load", "0.2", "--warmup", "100", "--measure", "100",
+                 "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text())
+    assert payload["config"]["engine"] == "array"
+    assert payload["result"]["delivered"] > 0
+
+
+def test_point_engine_flag_did_you_mean(capsys):
+    assert main(["point", "--engine", "aray", "--measure", "10"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown engine 'aray'" in err
+    assert "did you mean 'array'?" in err
 
 
 def _sweep_args(tmp_path, name, *extra):
@@ -135,6 +153,27 @@ def test_sweep_rejects_bad_loads():
         build_parser().parse_args(["sweep", "--loads", "0.1,abc"])
 
 
+def test_sweep_defaults_to_auto_engine(tmp_path, capsys):
+    out, args = _sweep_args(tmp_path, "auto")
+    assert main(args) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["config"]["engine"] == "auto"
+    # engine choice never leaks into the records: an explicit wheel run
+    # lands byte-identical points
+    out2, args2 = _sweep_args(tmp_path, "wheel", "--engine", "wheel")
+    assert main(args2) == 0
+    capsys.readouterr()
+    wheel = json.loads(out2.read_text())
+    assert wheel["config"]["engine"] == "wheel"
+    assert wheel["records"] == payload["records"]
+
+
+def test_sweep_engine_flag_did_you_mean(capsys):
+    assert main(["sweep", "--engine", "whel", "--loads", "0.1"]) == 2
+    assert "did you mean 'wheel'?" in capsys.readouterr().err
+
+
 def test_sweep_config_file_seed_respected(tmp_path, capsys):
     from repro.network.config import SimConfig
 
@@ -166,19 +205,18 @@ def test_sweep_topology_flag_selects_fabric(tmp_path, capsys):
     assert all(r["throughput"] > 0 for r in payload["records"])
 
 
-def test_sweep_topology_conflicts_with_config(tmp_path):
+def test_sweep_topology_conflicts_with_config(tmp_path, capsys):
     cfg = tmp_path / "cfg.json"
     cfg.write_text(json.dumps({"routing": "minimal"}))
     _, args = _sweep_args(tmp_path, "conflict", "--config", str(cfg),
                           "--topology", "torus")
-    with pytest.raises(ValueError, match="not both"):
-        main(args)
+    assert main(args) == 2
+    assert "not both" in capsys.readouterr().err
 
 
 def test_sweep_topology_flag_rejects_unknown(tmp_path):
     _, args = _sweep_args(tmp_path, "bad", "--topology", "klein-bottle")
-    with pytest.raises(ValueError, match="klein-bottle"):
-        main(args)
+    assert main(args) == 2
 
 
 # ----------------------------------------------- sharding / progress / cache

@@ -90,7 +90,7 @@ def test_all_registries_lists_every_component_kind():
                          "traffic-pattern", "traffic-process", "executor",
                          "engine"}
     assert "dragonfly" in regs["topology"].available()
-    assert regs["engine"].available() == ("array", "reference", "wheel")
+    assert regs["engine"].available() == ("array", "auto", "reference", "wheel")
     assert "olm" in regs["routing"].available()
     assert regs["flow-control"].available() == ("vct", "wh")
     assert regs["arbitration"].available() == ("age", "random", "rr")
@@ -161,11 +161,24 @@ def test_config_names_validated_against_registries():
 
 def test_registered_pattern_with_required_args_gets_clear_error():
     from repro.traffic.extra import NodeShift
-    from repro.traffic.patterns import pattern_by_name
+    from repro.traffic.patterns import TrafficPattern, pattern_by_name
 
     topo = Dragonfly(2)
-    with pytest.raises(ValueError, match="cannot be built from a bare name"):
-        pattern_by_name("shift", topo)
+
+    @PATTERN_REGISTRY.register("needy", description="requires a ctor argument")
+    class Needy(TrafficPattern):
+        def __init__(self, knob: int) -> None:
+            self.knob = knob
+
+        def dest(self, src, topo, rng):
+            return (src + self.knob) % topo.num_nodes
+
+    try:
+        with pytest.raises(ValueError, match="cannot be built from a bare name"):
+            pattern_by_name("needy", topo)
+        assert pattern_by_name("needy", topo, knob=2).knob == 2
+    finally:
+        PATTERN_REGISTRY.unregister("needy")
     shifted = pattern_by_name("shift", topo, offset=3)
     assert isinstance(shifted, NodeShift) and shifted.offset == 3
 

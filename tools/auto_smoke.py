@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI smoke for the ``auto`` engine's per-point selection rule.
+
+``engine="auto"`` (:class:`repro.network.arraysim.AutoSimulator`) must
+resolve each point to the fastest backend that preserves the record
+bytes:
+
+* a saturated minimal-routing point with no taps attached runs on the
+  numpy array core (``_mode == "array"``);
+* the same point with a full :class:`MetricsHub` attached needs the
+  object engine's event sites, so auto lands on the wheel path
+  (``_mode == "wheel"``);
+* in both cases the emitted record is byte-identical to the explicit
+  ``array`` and ``wheel`` engines (the golden-matrix contract — engine
+  choice is an execution detail, never physics).
+
+Exits non-zero on any violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python tools/auto_smoke.py
+"""
+
+from __future__ import annotations
+
+from repro.facade import Session, point_record
+from repro.network.arraysim import ArraySimulator, AutoSimulator
+from repro.network.config import SimConfig
+from repro.network.simulator import Simulator
+from repro.runplan import canonical_record_json
+
+SEED = 11
+PATTERN = "uniform"
+LOAD = 0.9
+WARMUP = 200
+MEASURE = 200
+
+
+def _run(sim_cls, with_tap: bool) -> tuple[str, object]:
+    """(canonical record, simulator) of the pinned saturated point."""
+    cfg = SimConfig(h=2, routing="minimal", seed=SEED)
+    session = Session(sim=sim_cls(cfg))
+    if with_tap:
+        from repro.metrics.hub import MetricsHub
+
+        MetricsHub(session.sim, bucket=100)
+    result = (session.bernoulli(PATTERN, LOAD)
+              .warmup(WARMUP).measure(MEASURE))
+    record = point_record(result, cfg, pattern=PATTERN, load=LOAD)
+    return canonical_record_json(record), session.sim
+
+
+def main() -> int:
+    failures = []
+
+    auto_rec, auto_sim = _run(AutoSimulator, with_tap=False)
+    if auto_sim._mode != "array":
+        failures.append(
+            f"auto picked {auto_sim._mode!r} on a saturated untapped "
+            "minimal-routing point; expected the array core")
+    tap_rec, tap_sim = _run(AutoSimulator, with_tap=True)
+    if tap_sim._mode != "wheel":
+        failures.append(
+            f"auto picked {tap_sim._mode!r} under a full MetricsHub; "
+            "expected the wheel path (taps need the object engine)")
+
+    array_rec, _ = _run(ArraySimulator, with_tap=False)
+    wheel_rec, _ = _run(Simulator, with_tap=False)
+    for name, rec in (("array", array_rec), ("wheel", wheel_rec),
+                      ("auto+tap", tap_rec)):
+        if rec != auto_rec:
+            failures.append(f"auto record diverged from {name}")
+
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        return 1
+    print("auto smoke OK: array on the saturated point, wheel under a "
+          "MetricsHub, records byte-identical to both explicit engines")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

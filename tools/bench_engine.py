@@ -3,9 +3,10 @@
 
 Runs a pinned scenario set on the registered engines — the frozen seed
 hot path (``reference``), the live timing-wheel object engine
-(``wheel``) and the numpy structure-of-arrays core (``array``) —
-checks that every emitted record is byte-identical across engines, and
-writes ``BENCH_engine.json`` with cycles/sec and per-scenario speedups.
+(``wheel``), the numpy structure-of-arrays core (``array``) and the
+per-point selector (``auto``) — checks that every emitted record is
+byte-identical across engines, and writes ``BENCH_engine.json`` with
+cycles/sec and per-scenario speedups.
 
 Scenario families (all record-gated, speedup-gated where marked):
 
@@ -18,20 +19,34 @@ Scenario families (all record-gated, speedup-gated where marked):
   Python pass per active router per cycle while the array core does a
   fixed number of numpy kernel calls regardless of fabric size
   (>= 5x over the wheel).
-* ``saturated_bernoulli_*`` — honesty rows for the array core: open
-  -loop Bernoulli injection draws one RNG uniform per node per cycle
-  *in Python* by byte-identity contract, a shared floor both engines
-  pay, which caps the achievable speedup near 2x.  Reported, not gated.
-* ``sparse_hotspot_backlog`` — the array core's worst case, reported
-  for honesty: only a handful of routers are ever active, so the
-  wheel's active-set scan is nearly free while the array core still
-  pays its full per-cycle kernel sequence.  Expect < 1x.
+* ``saturated_bernoulli_*`` — formerly honesty rows, now gated on the
+  vct row (>= 4x over the wheel): the batched-injection protocol
+  (``TrafficProcess.inject_batch``) lets the array core consume a whole
+  cycle's Bernoulli arrivals as (srcs, dsts) vectors, and the per-flit
+  next-hop cache plus single-flit allocation fast path removed the
+  remaining per-cycle numpy overhead.  The RNG draw itself stays a
+  Python-loop contract floor shared by every engine, which is why the
+  gate is 4x rather than the drain rows' 5x.  Measured over a long
+  steady window (warmup excluded) because the array core's one-time
+  route-cache population otherwise dilutes the steady-state ratio.
+* ``sparse_hotspot_backlog`` — formerly the array core's worst case:
+  only a handful of routers are ever active.  Sparse-activity
+  compaction (epoch-keyed active-pair layouts, the event-driven
+  allocation cache and the credit watch) makes the per-cycle kernels
+  O(active), so the array core now has to at least match the wheel
+  (>= 1x, gated) instead of losing outright.
 * ``low_load_bernoulli`` / ``burst_drain_dense`` / ``mid_load`` /
-  ``adversarial`` — wheel-vs-seed context rows (see PR 3).
+  ``adversarial`` — wheel-vs-seed context rows (see PR 3).  The dense
+  vct drain additionally gates the array engine's wheel fallback at
+  >= 1x: olm routing falls back to the object engine, which must not
+  cost anything over using the wheel directly.
+
+The ``auto`` engine (array when eligible, wheel otherwise) is in the
+smoke matrix so CI proves its records match whatever engine it picks.
 
 Speed gates are targets recorded in the report, never asserted by CI
 (CI machines are noisy); record equality is always asserted.
-``--smoke`` runs a short matrix over all three engines and exits
+``--smoke`` runs a short matrix over all engines and exits
 non-zero on any record mismatch — the CI engine-equivalence gate.
 
 Usage::
@@ -39,11 +54,13 @@ Usage::
     PYTHONPATH=src python tools/bench_engine.py              # full bench
     PYTHONPATH=src python tools/bench_engine.py --smoke      # CI gate
     PYTHONPATH=src python tools/bench_engine.py --engine array
+    PYTHONPATH=src python tools/bench_engine.py --profile --engine array
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import random
@@ -51,7 +68,7 @@ import time
 from pathlib import Path
 
 from repro.facade import Session, point_record
-from repro.network.arraysim import ArraySimulator
+from repro.network.arraysim import ArraySimulator, AutoSimulator
 from repro.network.config import SimConfig
 from repro.network.reference import ReferenceSimulator
 from repro.network.simulator import Simulator
@@ -66,6 +83,7 @@ ENGINES = {
     "reference": ReferenceSimulator,
     "wheel": Simulator,
     "array": ArraySimulator,
+    "auto": AutoSimulator,
 }
 ENGINE_NAMES = tuple(ENGINES)
 
@@ -139,11 +157,16 @@ def scenarios(smoke: bool) -> list[dict]:
              packets_per_node=15, max_cycles=500_000,
              gate="array>=5x_vs_wheel", engines=("wheel", "array"),
              repeat=1),
-        # ---- array-core honesty rows (shared-floor / worst-case)
+        # ---- PR-9 array-core gates: the two former honesty rows.
+        # The Bernoulli row measures a long steady window: the array
+        # core pays a one-time ~0.5s route-cache population (a Python
+        # walk per hot router pair) that would dilute the steady-state
+        # ratio the row exists to report — per-cycle it runs ~4.5-5x
+        # the wheel at this saturation.
         dict(name="saturated_bernoulli_vct_h3", kind="point",
              cfg=_cfg("vct", "minimal", h=3), pattern="uniform", load=0.9,
-             warmup=1000, measure=1000, gate=None,
-             engines=("wheel", "array")),
+             warmup=1000, measure=15000, gate="array>=4x_vs_wheel",
+             engines=("wheel", "array"), repeat=4),
         dict(name="saturated_burst_uniform_vct_h3", kind="drain",
              cfg=_cfg("vct", "minimal", h=3), pattern="uniform",
              packets_per_node=200, max_cycles=500_000, gate=None,
@@ -151,14 +174,20 @@ def scenarios(smoke: bool) -> list[dict]:
         dict(name="sparse_hotspot_backlog", kind="drain",
              cfg=_cfg("vct", "minimal", h=3), pattern="hotspot",
              pattern_kwargs={"hot_node": 0}, packets_per_node=5,
-             max_cycles=500_000, gate=None, engines=("wheel", "array")),
+             max_cycles=500_000, gate="array>=1x_vs_wheel",
+             engines=("wheel", "array"), repeat=4),
         # ---- wheel-vs-seed context rows (PR 3)
         dict(name="low_load_bernoulli_vct", kind="point", cfg=_cfg("vct", "olm"),
              pattern="uniform", load=0.02, warmup=w, measure=m, gate=None,
              engines=("reference", "wheel")),
+        # olm routing sends the array engine down its wheel fallback;
+        # the >=1x gate proves pinned dispatch makes that free.  The
+        # drain is ~30ms, so parity needs a deep best-of to shake
+        # timer noise out of both sides of the ratio.
         dict(name="burst_drain_dense_vct", kind="drain", cfg=_cfg("vct", "olm"),
              pattern="uniform", packets_per_node=10, max_cycles=500_000,
-             gate=None, engines=("reference", "wheel", "array")),
+             gate="array>=1x_vs_wheel",
+             engines=("reference", "wheel", "array"), repeat=10),
         dict(name="burst_drain_dense_wh", kind="drain", cfg=_cfg("wh", "rlm"),
              pattern="uniform", packets_per_node=4, max_cycles=500_000,
              gate=None, engines=("reference", "wheel")),
@@ -169,6 +198,23 @@ def scenarios(smoke: bool) -> list[dict]:
              pattern="advg+1", load=0.3, warmup=w, measure=m, gate=None,
              engines=("reference", "wheel")),
     ]
+
+
+def _timed(fn) -> tuple[float, object]:
+    """(wall seconds, result) of ``fn()`` with the cyclic GC parked.
+
+    Collect before the clock starts and disable the collector while it
+    runs: GC pauses otherwise land in one engine's window and tilt the
+    near-parity ratios (the wheel-fallback gate) by a few percent.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - start, result
+    finally:
+        gc.enable()
 
 
 def run_scenario(sc: dict, sim_cls, with_tap: bool = False) -> tuple[float, int, str]:
@@ -187,27 +233,24 @@ def run_scenario(sc: dict, sim_cls, with_tap: bool = False) -> tuple[float, int,
         MetricsHub(sim, bucket=500)
     kind = sc["kind"]
     if kind == "point":
-        session.bernoulli(sc["pattern"], sc["load"])
-        start = time.perf_counter()
-        result = session.warmup(sc["warmup"]).measure(sc["measure"])
-        elapsed = time.perf_counter() - start
+        # Warm-up is outside the clock: steady-state rows compare the
+        # engines' per-cycle rate, not one-time setup (the array core
+        # populates its route cache during the first injected cycles).
+        session.bernoulli(sc["pattern"], sc["load"]).warmup(sc["warmup"])
+        elapsed, result = _timed(lambda: session.measure(sc["measure"]))
         record = point_record(result, cfg, pattern=sc["pattern"], load=sc["load"])
     elif kind == "drain":
         pattern = pattern_by_name(sc["pattern"], sim.topo,
                                   **sc.get("pattern_kwargs", {}))
         session.with_traffic(BurstTraffic(pattern, sc["packets_per_node"]))
-        start = time.perf_counter()
-        result = session.drain(sc["max_cycles"])
-        elapsed = time.perf_counter() - start
+        elapsed, result = _timed(lambda: session.drain(sc["max_cycles"]))
         record = point_record(result, cfg, pattern=sc["pattern"],
                               packets_per_node=sc["packets_per_node"])
     elif kind == "probe":
         n = sim.topo.num_nodes
         pairs = [(i * sc["spacing"], (i * 5) % n) for i in range(sc["probes"])]
         sim.traffic = TraceReplay(_uniform_trace(sim.topo, pairs, SEED))
-        start = time.perf_counter()
-        result = session.drain(500_000)
-        elapsed = time.perf_counter() - start
+        elapsed, result = _timed(lambda: session.drain(500_000))
         record = result.to_dict()
     else:  # superstep
         n = sim.topo.num_nodes
@@ -215,11 +258,10 @@ def run_scenario(sc: dict, sim_cls, with_tap: bool = False) -> tuple[float, int,
                  for s in range(sc["steps"]) for node in range(n)
                  for _ in range(sc["packets_per_node"])]
         sim.traffic = TraceReplay(_uniform_trace(sim.topo, pairs, SEED))
-        start = time.perf_counter()
-        result = session.measure(sc["steps"] * sc["period"])
-        elapsed = time.perf_counter() - start
+        elapsed, result = _timed(lambda: session.measure(sc["steps"] * sc["period"]))
         record = result.to_dict()
-    return elapsed, sim.now, canonical_record_json(record)
+    cycles = sim.now - (sc["warmup"] if kind == "point" else 0)
+    return elapsed, cycles, canonical_record_json(record)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -233,6 +275,11 @@ def main(argv: list[str] | None = None) -> int:
                          "scenario lists); default: all")
     ap.add_argument("--repeat", type=int, default=3,
                     help="timing repetitions per scenario (best-of, default 3)")
+    ap.add_argument("--profile", action="store_true",
+                    help="after timing, run each timed engine once more "
+                         "under cProfile and print the top 10 functions "
+                         "by cumulative time (profiled runs are never "
+                         "used for the timings in the report)")
     ap.add_argument("--tap", action="store_true",
                     help="attach a MetricsHub to the non-reference engines: "
                          "records must stay byte-identical to the untapped "
@@ -250,17 +297,37 @@ def main(argv: list[str] | None = None) -> int:
         secs: dict[str, float] = {}
         recs: dict[str, str] = {}
         cycles = 0
-        for name in engines:
-            # untimed engines still run once for the record cross-check
-            reps = repeat if name in timed else 1
-            best = float("inf")
-            for _ in range(reps):
+        # rep-major order: each repetition cycles through every engine,
+        # so slow drift of the host machine (frequency scaling, noisy
+        # neighbours) biases all engines alike instead of whichever one
+        # happened to run last — and the within-rep order rotates each
+        # repetition, because under monotone drift a fixed order still
+        # systematically taxes the engine in the last slot (visible as
+        # a few percent on the near-parity fallback rows); untimed
+        # engines still run once for the record cross-check
+        reps_of = {name: repeat if name in timed else 1 for name in engines}
+        for rep in range(max(reps_of.values())):
+            k = rep % len(engines)
+            for name in engines[k:] + engines[:k]:
+                if rep >= reps_of[name]:
+                    continue
                 tap = args.tap and name != "reference"
                 s, cycles, recs[name] = run_scenario(sc, ENGINES[name],
                                                      with_tap=tap)
-                best = min(best, s)
-            if name in timed:
-                secs[name] = best
+                if name in timed:
+                    secs[name] = min(secs.get(name, s), s)
+        if args.profile:
+            import cProfile
+            import pstats
+
+            for name in timed:
+                prof = cProfile.Profile()
+                prof.enable()
+                run_scenario(sc, ENGINES[name],
+                             with_tap=args.tap and name != "reference")
+                prof.disable()
+                print(f"--- profile: {sc['name']} / {name} ---")
+                pstats.Stats(prof).sort_stats("cumulative").print_stats(10)
         identical = len(set(recs.values())) == 1
         if not identical:
             mismatches.append(sc["name"])
@@ -298,10 +365,10 @@ def main(argv: list[str] | None = None) -> int:
         "gate": "records byte-identical across engines on every scenario; "
                 "speed targets per row in 'gate' (wheel >= 2x the seed "
                 "engine on sparse rows, array >= 5x the wheel on saturated "
-                "h=4 rows); Bernoulli and hotspot rows are honesty context "
-                "— the RNG-per-node-per-cycle Python floor (shared by "
-                "contract) and the sparse-activity worst case where the "
-                "array core loses",
+                "h=4 drains, >= 4x on the saturated Bernoulli steady "
+                "window now that injection is batched, and >= 1x on the "
+                "sparse-hotspot and wheel-fallback rows after "
+                "sparse-activity compaction)",
     }
     out = args.out or (None if args.smoke else "BENCH_engine.json")
     if out:

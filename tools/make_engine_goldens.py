@@ -113,6 +113,31 @@ def scenario_matrix() -> list[dict]:
         "pattern": "uniform", "load": 0.9,
         "warmup": WARMUP, "measure": MEASURE,
     })
+    # batched-injection goldens (PR 9): Bernoulli-saturated points
+    # whose patterns exercise every inject_batch code path — hotspot
+    # and mixed draw extra uniforms per hit (the interleaved
+    # destination-draw contract), shift is deterministic (fully
+    # vectorized destinations) — plus a sparse-hotspot drain pinning
+    # the compaction path where only a handful of lanes stay live.
+    base = SimConfig(h=2, routing="minimal", flow_control="vct", seed=SEED)
+    for pattern, load in (("hotspot", 0.85), ("shift", 0.9), ("mixed:40", 0.8)):
+        entries.append({
+            "kind": "point", "config": base.to_dict(),
+            "pattern": pattern, "load": load,
+            "warmup": WARMUP, "measure": MEASURE,
+        })
+    entries.append({
+        "kind": "point",
+        "config": SimConfig(h=2, routing="minimal", flow_control="wh",
+                            packet_phits=40, flit_phits=10, seed=SEED).to_dict(),
+        "pattern": "hotspot", "load": 0.6,
+        "warmup": WARMUP, "measure": MEASURE,
+    })
+    entries.append({
+        "kind": "drain", "config": base.to_dict(),
+        "pattern": "hotspot", "packets_per_node": 5,
+        "max_cycles": MAX_DRAIN,
+    })
     return entries
 
 
