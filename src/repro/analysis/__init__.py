@@ -1,7 +1,9 @@
-"""Analytical helpers: throughput bounds (§II) and CDG deadlock proofs (§III)."""
+"""Analytical helpers: throughput bounds (§II), CDG deadlock proofs
+(§III) and the physical-invariant verification layer."""
 
 from repro.analysis.bounds import (
     advg_minimal_bound,
+    advg_minimal_capacity,
     advg_valiant_local_bound,
     advl_minimal_bound,
     uniform_capacity,
@@ -12,9 +14,19 @@ from repro.analysis.cdg import (
     escape_reachable,
     is_deadlock_free,
 )
+from repro.analysis.invariants import (
+    Check,
+    InvariantViolation,
+    VerifyReport,
+    check_record,
+    live_checks,
+    render_markdown,
+    verify_result,
+)
 
 __all__ = [
     "advg_minimal_bound",
+    "advg_minimal_capacity",
     "advg_valiant_local_bound",
     "advl_minimal_bound",
     "uniform_capacity",
@@ -22,4 +34,11 @@ __all__ = [
     "cycle_witness",
     "escape_reachable",
     "is_deadlock_free",
+    "Check",
+    "InvariantViolation",
+    "VerifyReport",
+    "check_record",
+    "live_checks",
+    "render_markdown",
+    "verify_result",
 ]

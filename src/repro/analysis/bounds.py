@@ -17,6 +17,18 @@ def advg_minimal_bound(h: int) -> float:
     return 1.0 / (2 * h * h + 1)
 
 
+def advg_minimal_capacity(h: int) -> float:
+    """Hard capacity of minimal routing under ADVG (verification bound).
+
+    The ``2h·h`` nodes of a group share the single global link (capacity
+    1 phit/cycle) toward the adversarial target group, so accepted load
+    can never exceed ``1/(2h^2)`` phits/(node·cycle).  This is the
+    invariant-checker's ceiling; :func:`advg_minimal_bound` keeps the
+    paper's slightly tighter per-group normalisation for the figures.
+    """
+    return 1.0 / (2 * h * h)
+
+
 def advl_minimal_bound(h: int) -> float:
     """Minimal routing under ADVL: one local link carries a whole router.
 

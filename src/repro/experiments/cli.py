@@ -10,6 +10,8 @@ Examples::
     dragonfly-repro point --pattern advg+h --load 0.3 --config cfg.json
     dragonfly-repro sweep --routing olm --pattern uniform --loads 0.1,0.3,0.5 \\
         --jobs 4 --seeds 3 --cache .runcache
+    dragonfly-repro verify-results results/
+    dragonfly-repro verify-results --live --report verify.md
 """
 
 from __future__ import annotations
@@ -80,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", help="write the result to this JSON file")
     run.add_argument("--json-dir", help="write one JSON per experiment into this directory")
     run.add_argument("--svg-dir", help="render one SVG figure per experiment into this directory")
+    run.add_argument("--verify", action="store_true",
+                     help="run the physical-invariant verifier "
+                          "(repro.analysis.invariants) over every generated "
+                          "figure; exit 1 if any check fails")
     point = sub.add_parser(
         "point", help="run one steady-state point through the Session API")
     point.add_argument("--config",
@@ -184,6 +190,45 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--point-retries", type=int, default=1,
                        help="extra attempts per failing point before it is "
                             "quarantined into the job's point_errors")
+    serve.add_argument("--verify", default="flow", choices=("flow", "full"),
+                       help="per-point verification gate: 'flow' checks "
+                            "flow conservation only, 'full' enforces the "
+                            "whole physical-invariant set (Little's law, "
+                            "bounds, occupancy); record bytes are identical "
+                            "either way")
+    vr = sub.add_parser(
+        "verify-results",
+        help="verify physical invariants over result JSON files (or live runs)",
+        description="Prove result numbers are physically possible: flow "
+                    "conservation, Little's law, capacity/bisection bounds, "
+                    "latency floors, monotone counters and CI sanity over "
+                    "every record of each figure payload (see "
+                    "docs/VERIFICATION.md).  Prints a per-figure ✅/❌ "
+                    "Markdown report; exits 0 when every check passes, 1 on "
+                    "any failure, 2 on usage errors.")
+    vr.add_argument("paths", nargs="*", default=["results"],
+                    help="result JSON files or directories of them "
+                         "(default: results/)")
+    vr.add_argument("--tolerance", type=float, default=None,
+                    help="relative tolerance for bound checks (default 0.05)")
+    vr.add_argument("--fail-fast", action="store_true",
+                    help="stop at the first result file with failures")
+    vr.add_argument("--report", metavar="FILE",
+                    help="also write the Markdown report to this file")
+    vr.add_argument("--live", action="store_true",
+                    help="additionally re-run a live engine × fabric matrix: "
+                         "each combination runs twice (plain and instrumented "
+                         "with the full invariant gate) and the two records "
+                         "must be byte-identical")
+    vr.add_argument("--engines", default="wheel,array,auto", metavar="LIST",
+                    help="comma-separated engines for --live")
+    vr.add_argument("--topologies", metavar="LIST",
+                    default="dragonfly,flattened_butterfly,torus",
+                    help="comma-separated fabrics for --live")
+    vr.add_argument("--scale", default="smoke",
+                    help="scale preset for --live runs (default smoke)")
+    vr.add_argument("--load", type=float, default=0.3,
+                    help="offered load for --live runs")
     cache = sub.add_parser(
         "cache", help="inspect or prune a result cache directory",
         description="Operate on the content-addressed result cache shared by "
@@ -474,7 +519,7 @@ def _run_serve(args) -> int:
             queue_limit=args.queue_limit, job_timeout=args.job_timeout,
             retry_after=args.retry_after, bucket=args.bucket,
             max_points=args.max_points, keep_jobs=args.keep_jobs,
-            point_retries=args.point_retries)
+            point_retries=args.point_retries, verify=args.verify)
     except ValueError as e:
         print(f"error: {e}", file=sys.stderr)
         return 2
@@ -487,6 +532,154 @@ def _run_serve(args) -> int:
         run(app, args.host, args.port)
     else:  # pragma: no cover - uvicorn not in the pinned environment
         uvicorn.run(app, host=args.host, port=args.port)
+    return 0
+
+
+def _result_files(paths: list[str]) -> list[Path]:
+    """Expand verify-results path arguments to result JSON files.
+
+    Raises ``ValueError`` with an actionable message (exit 2 material)
+    for a missing path or a directory with nothing to verify.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(path.glob("*.json"))
+            if not found:
+                raise ValueError(
+                    f"no *.json result files in directory {path}; "
+                    "generate some with 'run all --json-dir' first")
+            files.extend(found)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ValueError(
+                f"no such file or directory: {path} — pass result JSON "
+                "files or a directory of them (default: results/)")
+    return files
+
+
+def _load_result(path: Path) -> dict:
+    """One figure payload from disk, validated enough to verify.
+
+    Unknown figure ids are rejected (exit 2): an id outside the
+    experiment registry means the file is not a result this tool knows
+    how to interpret, not a failing result.
+    """
+    try:
+        result = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        raise ValueError(f"{path} is not valid JSON ({e}); was the file "
+                         "truncated by an interrupted run?") from None
+    if not isinstance(result, dict):
+        raise ValueError(f"{path} does not hold a result object "
+                         "(got a JSON " + type(result).__name__ + ")")
+    figure = result.get("id")
+    if figure not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ValueError(
+            f"{path}: unknown figure id {figure!r}; known ids: {known} "
+            "(is this a sweep/point payload rather than a figure result?)")
+    return result
+
+
+def _verify_live_matrix(engines, topologies, *, scale_name: str, load: float,
+                        tolerance: float) -> list:
+    """Re-run an engine × fabric matrix under the live invariant gate.
+
+    Each combination runs the same steady point twice — plain, and
+    instrumented with the full invariant set enforced — and the two
+    records must be byte-identical (the observation-only guarantee the
+    whole shared cache rests on).  Returns one
+    :class:`~repro.analysis.invariants.ResultReport` per combination.
+    """
+    from repro.analysis.invariants import InvariantViolation, verify_result
+    from repro.experiments.presets import cross_topology_config, get_scale
+    from repro.facade import run_point
+    from repro.runplan.cache import canonical_record_json
+
+    scale = get_scale(scale_name)
+    # ≥4 completed default-width buckets so Little's law actually applies
+    measure = max(scale.measure, 1000)
+    reports = []
+    for topo in topologies:
+        for engine in engines:
+            label = f"{topo}/{engine}"
+            config = cross_topology_config(
+                topo, scale=scale, routing="minimal").with_(engine=engine)
+            plain = run_point(config, "uniform", load, scale.warmup, measure)
+            gate_failures: list[dict] = []
+            checked = None
+            try:
+                checked = run_point(config, "uniform", load, scale.warmup,
+                                    measure, verify=True)
+            except InvariantViolation as e:
+                gate_failures = [
+                    {"record": label, **c}
+                    for c in e.report.get("checks", ())
+                    if not c.get("ok", True)]
+            payload = {
+                "id": f"live:{label}",
+                "description": (f"live re-run, scale {scale_name}, uniform "
+                                f"load {load:g}, engine {engine}"),
+                "series": {label: [plain]},
+            }
+            report = verify_result(payload, tolerance=tolerance)
+            report.failures.extend(gate_failures)
+            if checked is not None and (canonical_record_json(plain)
+                                        != canonical_record_json(checked)):
+                report.failures.append({
+                    "record": label, "check": "record_identity", "ok": False,
+                    "lhs": None, "rhs": None,
+                    "detail": "instrumented (verified) record differs from "
+                              "the plain run — observation changed the "
+                              "measurement"})
+            reports.append(report)
+    return reports
+
+
+def _run_verify_results(args) -> int:
+    from repro.analysis.invariants import (
+        DEFAULT_TOLERANCE,
+        render_markdown,
+        verify_result,
+    )
+
+    tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    if tolerance < 0:
+        print(f"error: --tolerance must be >= 0 (got {tolerance})",
+              file=sys.stderr)
+        return 2
+    reports = []
+    try:
+        for path in _result_files(args.paths):
+            report = verify_result(_load_result(path), tolerance=tolerance)
+            reports.append(report)
+            if args.fail_fast and not report.ok:
+                break
+        if args.live and not (args.fail_fast
+                              and any(not r.ok for r in reports)):
+            engines = [t for t in args.engines.split(",") if t.strip()]
+            topologies = [t for t in args.topologies.split(",") if t.strip()]
+            reports.extend(_verify_live_matrix(
+                engines, topologies, scale_name=args.scale, load=args.load,
+                tolerance=tolerance))
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    markdown = render_markdown(reports, tolerance=tolerance)
+    print(markdown, end="")
+    if args.report:
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(markdown)
+    failures = sum(len(r.failures) for r in reports)
+    if failures:
+        print(f"verify-results: {failures} invariant check(s) failed",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -507,6 +700,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "cache":
         return _run_cache(args)
+    if args.command == "verify-results":
+        return _run_verify_results(args)
     from repro.experiments.figures import FigureInterrupted
     from repro.runplan import PlanExecutionError
 
@@ -517,6 +712,7 @@ def main(argv: list[str] | None = None) -> int:
     if progress is not None:
         kwargs["on_result"] = progress
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    verify_reports = []
     for exp_id in ids:
         try:
             result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
@@ -540,6 +736,10 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(format_result(result))
         print()
+        if args.verify:
+            from repro.analysis.invariants import verify_result
+
+            verify_reports.append(verify_result(result))
         if args.json and len(ids) == 1:
             save_result(result, args.json)
         if args.json_dir:
@@ -548,6 +748,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments.svgplot import chart_from_result
 
             chart_from_result(result).save(f"{args.svg_dir.rstrip('/')}/{exp_id}.svg")
+    if verify_reports:
+        from repro.analysis.invariants import render_markdown
+
+        print(render_markdown(verify_reports,
+                              title="Invariant verification (run --verify)"),
+              end="", file=sys.stderr)
+        if any(not r.ok for r in verify_reports):
+            return 1
     return 0
 
 

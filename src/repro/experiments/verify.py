@@ -349,6 +349,15 @@ def render_experiments_md(results: dict[str, dict]) -> str:
         "the same minimal/Valiant mechanisms over all three fabrics at "
         "matched node counts.",
         "",
+        "Beyond these shape checks, every record is verified against "
+        "*physical invariants* (PR 10: `repro.analysis.invariants`) — "
+        "flow conservation, Little's law, the paper's §II capacity "
+        "bounds, serialization/minimal-hop latency floors, monotone "
+        "counters and CI sanity: `dragonfly-repro verify-results "
+        "results/` re-checks every table below, and `--live` re-runs "
+        "an engine × fabric matrix under the full gate (see "
+        "`docs/VERIFICATION.md`).",
+        "",
     ]
     passed = failed = 0
     for exp_id in sorted(CHECKS):

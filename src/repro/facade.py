@@ -262,7 +262,8 @@ class Session:
 
     def measure_series(self, cycles: int, *, bucket: int = 250,
                        latencies: bool = True, emit=None,
-                       meta: dict | None = None) -> "SeriesResult":
+                       meta: dict | None = None,
+                       full_verify: bool = False) -> "SeriesResult":
         """Run ``cycles`` cycles with a metrics hub attached: a transient
         window.
 
@@ -287,6 +288,12 @@ class Session:
         extra fields into the meta row (emitted and in ``records``
         alike).  An ``emit`` that raises aborts the measurement; the
         serve layer uses this for cancellation.
+
+        ``full_verify`` upgrades the captured ``verify`` report from
+        the always-on flow-conservation check to the complete live
+        invariant set (Little's law, occupancy, capacity and latency
+        floors — :func:`repro.analysis.invariants.live_checks`); the
+        measured result bytes are identical either way.
         """
         sim = self._sim
         hub = MetricsHub(sim, bucket=bucket, latencies=latencies)
@@ -309,7 +316,10 @@ class Session:
                 start_cycle=hub.start_cycle,
                 series=hub.series(end),
                 records=tuple(hub.records(end, meta)),
-                verify=hub.verify(),
+                # argless when flow-only: the call shape test doubles
+                # monkeypatching verify(self) rely on stays the default
+                verify=hub.verify(full=True) if full_verify
+                       else hub.verify(),
             )
             if emit is not None:
                 emit(hub.summary_row(end))
@@ -394,8 +404,18 @@ def point_record(result: RunResult, config: SimConfig, **coords) -> dict:
     return rec
 
 
+def _enforce_verify(report: dict | None) -> None:
+    """Raise :class:`~repro.analysis.invariants.InvariantViolation` on a
+    failed verify report (lazy import: verification is opt-in)."""
+    if report is not None and not report["ok"]:
+        from repro.analysis.invariants import InvariantViolation
+
+        raise InvariantViolation(report)
+
+
 def run_point(config: SimConfig, pattern_spec: str, load: float,
-              warmup: int, measure: int, steady: bool = False) -> dict:
+              warmup: int, measure: int, steady: bool = False,
+              verify: bool = False) -> dict:
     """One steady-state record: warm up, reset stats, measure.
 
     Picklable worker entry — the unit of work of the run-plan executors
@@ -403,13 +423,25 @@ def run_point(config: SimConfig, pattern_spec: str, load: float,
     replaced by :meth:`Session.warmup_until_steady` with ``warmup`` as
     the cycle cap; the record then carries ``warmup_cycles`` (spent)
     and ``warmup_steady`` (whether the rule fired before the cap).
+
+    ``verify=True`` runs the window instrumented and enforces the full
+    live invariant set (flow conservation, Little's law, occupancy,
+    capacity and latency floors), raising
+    :class:`~repro.analysis.invariants.InvariantViolation` on the
+    first violated check.  The record stays byte-identical — attaching
+    a hub never changes what a simulation measures (PR-4 guarantee).
     """
     s = session(config, pattern=pattern_spec, load=load)
     if steady:
         s.warmup_until_steady(max_cycles=warmup)
     else:
         s.warmup(warmup)
-    result = s.measure(measure)
+    if verify:
+        sr = s.measure_series(measure, full_verify=True)
+        _enforce_verify(sr.verify)
+        result = sr.result
+    else:
+        result = s.measure(measure)
     rec = point_record(result, config, pattern=pattern_spec, load=load)
     if steady:
         rec["warmup_cycles"] = s.auto_warmup["cycles"]
@@ -418,15 +450,26 @@ def run_point(config: SimConfig, pattern_spec: str, load: float,
 
 
 def run_drain(config: SimConfig, pattern_spec: str, packets_per_node: int,
-              max_cycles: int) -> dict:
+              max_cycles: int, verify: bool = False) -> dict:
     """One burst-consumption record: inject a burst, run until drained.
 
     Picklable worker entry for ``kind="drain"`` run-plan points.
+    ``verify=True`` attaches a hub before the first injection (so flow
+    conservation reduces to ``injected == delivered`` at drain) and
+    enforces the full live invariant set.
     """
     s = session(config)
     pattern = pattern_by_name(pattern_spec, s.sim.topo)
     s.with_traffic(BurstTraffic(pattern, packets_per_node))
-    result = s.drain(max_cycles)
+    if verify:
+        hub = MetricsHub(s.sim, bucket=250, latencies=True)
+        try:
+            result = s.drain(max_cycles)
+            _enforce_verify(hub.verify(full=True))
+        finally:
+            hub.detach()
+    else:
+        result = s.drain(max_cycles)
     return point_record(result, config, pattern=pattern_spec,
                         packets_per_node=packets_per_node)
 
@@ -434,7 +477,7 @@ def run_drain(config: SimConfig, pattern_spec: str, packets_per_node: int,
 def run_transient(config: SimConfig, pattern_spec: str, load: float,
                   packets_per_node: int, warmup: int, measure: int,
                   bucket: int = 250, rel_tolerance: float = 0.15,
-                  hold: int = 3) -> dict:
+                  hold: int = 3, verify: bool = False) -> dict:
     """One transient burst-response record: load step onto steady traffic.
 
     Picklable worker entry for ``kind="transient"`` run-plan points —
@@ -451,6 +494,9 @@ def run_transient(config: SimConfig, pattern_spec: str, load: float,
        for ``hold`` consecutive buckets
        (:func:`repro.metrics.statistics.recovery_time`), clamped to
        ``measure`` with ``recovered=False`` when it never does.
+
+    ``verify=True`` enforces the full live invariant set over the
+    measured window (see :func:`run_point`).
     """
     s = session(config, pattern=pattern_spec, load=load)
     s.warmup_until_steady(bucket=bucket, max_cycles=warmup)
@@ -458,7 +504,10 @@ def run_transient(config: SimConfig, pattern_spec: str, load: float,
     sim = s.sim
     burst_pattern = pattern_by_name(pattern_spec, sim.topo)
     BurstTraffic(burst_pattern, packets_per_node).inject(sim, sim.now)
-    sr = s.measure_series(measure, bucket=bucket, latencies=True)
+    sr = s.measure_series(measure, bucket=bucket, latencies=True,
+                          full_verify=verify)
+    if verify:
+        _enforce_verify(sr.verify)
     recovery = recovery_time(sr.series["throughput"], baseline,
                              bucket=bucket, rel_tolerance=rel_tolerance,
                              hold=hold)

@@ -48,9 +48,10 @@ class _Bucket:
 
     __slots__ = ("injected", "delivered", "delivered_phits", "latency_sum",
                  "latency_max", "latencies", "grants", "local_misroutes",
-                 "global_misroutes", "ring_hops", "credit_phits", "occupancy")
+                 "global_misroutes", "ring_hops", "credit_phits", "occupancy",
+                 "inflight")
 
-    def __init__(self, occupancy: dict) -> None:
+    def __init__(self, occupancy: dict, inflight: int = 0) -> None:
         self.injected = 0
         self.delivered = 0
         self.delivered_phits = 0
@@ -64,6 +65,8 @@ class _Bucket:
         self.credit_phits = 0
         #: downstream occupancy in phits per (kind, vc) at bucket open
         self.occupancy = occupancy
+        #: engine packets in flight at bucket open (Little's-law sample)
+        self.inflight = inflight
 
 
 class LatencyTap:
@@ -153,6 +156,18 @@ class MetricsHub:
         self.ring_hops = 0
         self.ring_entries = 0
         self.credit_phits = 0
+        #: total delivery latency (cycles) over the window — the λ·W
+        #: side of the Little's-law identity in :meth:`verify(full=True)`
+        self.latency_cycles = 0
+        #: smallest single-packet latency seen (None until a delivery)
+        self.latency_min: int | None = None
+        #: total eject-stamp lead (cycles): deliveries are stamped at
+        #: tail-ejection *completion* while the engine removes the
+        #: packet from ``packets_in_flight`` at the current cycle, so
+        #: each delivery's latency counts ``cycle - now`` packet-cycles
+        #: the population never holds — subtracted from the λ·W side of
+        #: the Little's-law identity
+        self.eject_lead = 0
 
     # ------------------------------------------------------------ tap events
     def _bucket_at(self, cycle: int) -> _Bucket:
@@ -163,13 +178,15 @@ class MetricsHub:
         # open every bucket up to idx (fast-forward gaps stay empty but
         # still snapshot the — unchanged — occupancy at their open)
         occ = self._occ
+        inflight = self.sim.packets_in_flight
         while len(buckets) <= idx:
-            buckets.append(_Bucket(dict(occ)))
+            buckets.append(_Bucket(dict(occ), inflight))
         return buckets[idx]
 
     def on_inject(self, packet, cycle: int) -> None:
         self.injected += 1
         self._bucket_at(cycle).injected += 1
+        self._refresh_future_snapshots(cycle)
 
     def _refresh_future_snapshots(self, cycle: int) -> None:
         """Re-snapshot buckets opened ahead of ``cycle``.
@@ -178,14 +195,18 @@ class MetricsHub:
         (``t + size``), so a delivery near a bucket boundary can open
         the next bucket before the current cycle's remaining grants and
         credits apply; those buckets' open cycle is still in the
-        future, so their occupancy-at-open must track every mutation
-        until it is reached.  The common case (no future bucket) costs
-        one index comparison.
+        future, so their occupancy-at-open (and in-flight sample) must
+        track every mutation until it is reached.  The common case (no
+        future bucket) costs one index comparison.
         """
         idx = (cycle - self.start_cycle) // self.bucket
         buckets = self._buckets
+        if idx + 1 >= len(buckets):
+            return
+        inflight = self.sim.packets_in_flight
         for j in range(idx + 1, len(buckets)):
             buckets[j].occupancy = dict(self._occ)
+            buckets[j].inflight = inflight
 
     def on_grant(self, router, out, vc: int, flit, decision, cycle: int) -> None:
         self.grants += 1
@@ -211,11 +232,17 @@ class MetricsHub:
         b.delivered_phits += packet.size_phits
         latency = cycle - packet.birth
         b.latency_sum += latency
+        self.latency_cycles += latency
+        if cycle > self.sim.now:
+            self.eject_lead += cycle - self.sim.now
         if latency > b.latency_max:
             b.latency_max = latency
+        if self.latency_min is None or latency < self.latency_min:
+            self.latency_min = latency
         if self._keep_latencies:
             b.latencies.append(latency)
         self._on_ring.discard(packet.pid)
+        self._refresh_future_snapshots(cycle)
 
     def on_credit(self, out, vc: int, amount: int, cycle: int) -> None:
         self.credit_phits += amount
@@ -244,34 +271,57 @@ class MetricsHub:
             self.sim.remove_tap(self)
 
     # ----------------------------------------------------------- verification
-    def verify(self) -> dict:
-        """Flow-conservation check over the hub's window (SNIPPETS.md §2).
+    def verify(self, full: bool = False) -> dict:
+        """Invariant verification over the hub's window (SNIPPETS.md §2).
 
-        Every packet injected inside the window must either have been
-        delivered inside the window or still be in flight::
+        The always-on check is flow conservation: every packet injected
+        inside the window must either have been delivered inside the
+        window or still be in flight::
 
             injected == delivered + (in_flight_now - in_flight_at_window_start)
 
         At drain (``in_flight_now == 0``, hub attached before the first
-        injection) this reduces to ``injected == delivered``.  Returns a
-        report dict with ``ok`` plus every term, so callers (the serve
-        layer marks jobs ``failed`` on a violation) can render an
-        actionable message.  Inject and eject taps mutate the counters
-        at the same engine event that mutates ``packets_in_flight``, so
-        the identity holds exactly at any point between cycles — a
-        mismatch means lost or double-counted packets.
+        injection) this reduces to ``injected == delivered``.  Inject
+        and eject taps mutate the counters at the same engine event
+        that mutates ``packets_in_flight``, so the identity holds
+        exactly at any point between cycles — a mismatch means lost or
+        double-counted packets.
+
+        ``full=True`` adds the complete live invariant set of
+        :func:`repro.analysis.invariants.live_checks`: Little's law
+        between the bucket-sampled in-flight level and ``λ·W``,
+        occupancy non-negativity, the per-node throughput capacity and
+        the topology-oracle latency floor.
+
+        Returns a :class:`repro.analysis.invariants.VerifyReport` — a
+        dict whose top level keeps the historical flow-conservation
+        keys (``ok`` aggregates every check) and whose ``"checks"``
+        list carries one structured entry (name, lhs/rhs, tolerance,
+        verdict) per invariant.  Callers like the serve layer mark jobs
+        failed on ``ok == False`` and render the terms.
         """
+        from repro.analysis.invariants import Check, VerifyReport, live_checks
+
         in_flight = self.sim.packets_in_flight
         expected = self._inflight_at_window_start + self.injected - self.delivered
-        return {
-            "check": "flow_conservation",
-            "ok": in_flight == expected,
-            "injected": self.injected,
-            "delivered": self.delivered,
-            "in_flight": in_flight,
-            "in_flight_at_window_start": self._inflight_at_window_start,
-            "expected_in_flight": expected,
-        }
+        flow_ok = in_flight == expected
+        checks = [Check(
+            "flow_conservation", flow_ok, lhs=in_flight, rhs=expected,
+            detail=f"injected={self.injected} delivered={self.delivered} "
+                   f"in_flight={in_flight} expected={expected}")]
+        if full:
+            checks.extend(live_checks(self))
+        report = VerifyReport(
+            check="flow_conservation",
+            ok=flow_ok and all(c.ok for c in checks),
+            injected=self.injected,
+            delivered=self.delivered,
+            in_flight=in_flight,
+            in_flight_at_window_start=self._inflight_at_window_start,
+            expected_in_flight=expected,
+        )
+        report["checks"] = [c.to_dict() for c in checks]
+        return report
 
     # --------------------------------------------------------------- readout
     def completed_buckets(self, end: int | None = None) -> list[_Bucket]:
@@ -296,6 +346,15 @@ class MetricsHub:
         """Mean delivery latency per completed bucket (NaN when empty)."""
         return [b.latency_sum / b.delivered if b.delivered else math.nan
                 for b in self.completed_buckets(end)]
+
+    def in_flight_series(self, end: int | None = None) -> list[int]:
+        """Engine packets in flight, sampled at each bucket's open.
+
+        The L side of Little's law: an event-derived level (refreshed
+        while a bucket's open cycle is still in the future, exactly
+        like the occupancy snapshots), not a per-cycle average.
+        """
+        return [b.inflight for b in self.completed_buckets(end)]
 
     def occupancy_series(self, kind: PortKind, end: int | None = None) -> list[int]:
         """Total downstream occupancy (phits) of ``kind`` ports per bucket.

@@ -24,6 +24,7 @@ result list (``errors="skip"``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import partial
 
 from repro.facade import run_drain, run_point, run_transient
 from repro.runplan.aggregate import aggregate_replicas
@@ -39,25 +40,34 @@ from repro.runplan.spec import (
 )
 
 
-def execute_point(point: RunPoint) -> dict:
+def execute_point(point: RunPoint, verify: bool = False) -> dict:
     """Compute one point's raw record (picklable process-pool worker).
 
     Display labels (``series``/``coords``) are merged by the caller
     (:func:`execute_points`), never here, so the record is pure
     measurement content — cacheable under the point's content hash and
     shareable between differently-labelled plans.
+
+    ``verify=True`` runs the point instrumented and enforces the full
+    physical-invariant set (flow conservation, Little's law, occupancy
+    and latency/capacity bounds) before the record is returned —
+    :class:`~repro.analysis.invariants.InvariantViolation` quarantines
+    the point instead of caching silently-wrong numbers.  Records are
+    byte-identical with or without verification, so verified and
+    unverified runs share cache entries.
     """
     if point.kind == "drain":
         return run_drain(point.config, point.pattern,
                          point.packets_per_node,
-                         point.max_cycles or 1_000_000)
+                         point.max_cycles or 1_000_000, verify=verify)
     if point.kind == "transient":
         return run_transient(point.config, point.pattern, point.load,
                              point.packets_per_node,
                              point.warmup, point.measure,
-                             bucket=point.bucket or 250)
+                             bucket=point.bucket or 250, verify=verify)
     return run_point(point.config, point.pattern, point.load,
-                     point.warmup, point.measure, steady=point.steady)
+                     point.warmup, point.measure, steady=point.steady,
+                     verify=verify)
 
 
 def labeled_record(point: RunPoint, record: dict) -> dict:
@@ -110,7 +120,7 @@ def _resolve_shard(shard) -> tuple[int, int] | None:
 
 def execute_points(points, *, executor="serial", jobs: int | None = None,
                    cache=None, on_result=None, errors: str = "raise",
-                   shard=None) -> list[dict]:
+                   shard=None, verify: bool = False) -> list[dict]:
     """Execute a flat point list; results come back in point order.
 
     ``cache`` (a directory path or :class:`ResultCache`) is consulted
@@ -124,7 +134,10 @@ def execute_points(points, *, executor="serial", jobs: int | None = None,
     completed point, in completion order.  ``errors`` controls
     quarantined points: ``"raise"`` finishes every other point first,
     then raises :class:`~repro.runplan.scheduler.PlanExecutionError`;
-    ``"skip"`` drops them from the result list.
+    ``"skip"`` drops them from the result list.  ``verify=True`` opts
+    every *computed* point into the full physical-invariant set (see
+    :func:`execute_point`); cache hits replay without re-verification —
+    they were verified when first computed.
     """
     if errors not in ("raise", "skip"):
         raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
@@ -155,7 +168,9 @@ def execute_points(points, *, executor="serial", jobs: int | None = None,
     if pending:
         pool = resolve_executor(executor, jobs)
         plan_index = {j: i for j, (i, _) in enumerate(pending)}
-        for j, result in run_stream(pool, execute_point,
+        worker = (partial(execute_point, verify=True) if verify
+                  else execute_point)
+        for j, result in run_stream(pool, worker,
                                     [p for _, p in pending]):
             i = plan_index[j]
             point = points[i]
@@ -185,7 +200,8 @@ def execute_points(points, *, executor="serial", jobs: int | None = None,
 
 def execute(specs, *, executor="serial", jobs: int | None = None,
             cache=None, aggregate: bool | None = None, on_result=None,
-            errors: str = "raise", shard=None) -> list[dict]:
+            errors: str = "raise", shard=None,
+            verify: bool = False) -> list[dict]:
     """Run one spec or a sequence of specs end to end.
 
     ``aggregate=None`` (the default) collapses seed replicas exactly
@@ -194,14 +210,15 @@ def execute(specs, *, executor="serial", jobs: int | None = None,
     ``shard`` is given, a shard may hold only part of a replica group —
     aggregate after merging shard caches, or pass ``aggregate=False``
     per shard.)  ``on_result`` / ``errors`` / ``shard`` pass through to
-    :func:`execute_points`.
+    :func:`execute_points`, as does ``verify`` (opt-in full
+    physical-invariant enforcement on every computed point).
     """
     if isinstance(specs, RunSpec):
         specs = [specs]
     specs = list(specs)
     records = execute_points(expand_specs(specs), executor=executor,
                              jobs=jobs, cache=cache, on_result=on_result,
-                             errors=errors, shard=shard)
+                             errors=errors, shard=shard, verify=verify)
     if aggregate is None:
         aggregate = any(len(spec.seeds) > 1 for spec in specs)
     return aggregate_replicas(records) if aggregate else records

@@ -294,6 +294,7 @@ class JobQueue:
                 cancelled=job.cancel_event,
                 emit=lambda row: send(job._push_row, row),
                 max_retries=self.settings.point_retries,
+                verify=self.settings.verify,
             )
         except runner.JobCancelled:
             finish(CANCELLED, error={
@@ -305,6 +306,13 @@ class JobQueue:
         except runner.FlowConservationError as e:
             finish(FAILED, error={
                 "type": "flow_conservation",
+                "message": str(e),
+                "report": e.report,
+            })
+        except runner.InvariantViolation as e:
+            # a full-verify gate tripped on a non-flow invariant
+            finish(FAILED, error={
+                "type": "invariant_violation",
                 "message": str(e),
                 "report": e.report,
             })
@@ -393,5 +401,6 @@ class JobQueue:
                 "max_points": self.settings.max_points,
                 "keep_jobs": self.settings.keep_jobs,
                 "point_retries": self.settings.point_retries,
+                "verify": self.settings.verify,
             },
         }

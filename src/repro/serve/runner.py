@@ -24,13 +24,19 @@ Why the identity holds despite the extra machinery:
 Every window additionally self-checks flow conservation
 (``injected == delivered + Δin_flight``, satellite of PR 6): a tripped
 check raises :class:`FlowConservationError` and the job is marked
-failed rather than returning silently-wrong numbers.
+failed rather than returning silently-wrong numbers.  A service
+configured with ``verify="full"`` widens that gate to the whole
+physical-invariant set (:mod:`repro.analysis.invariants` — Little's
+law, occupancy non-negativity, throughput/latency bounds); a non-flow
+failure surfaces as the base
+:class:`~repro.analysis.invariants.InvariantViolation`.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace as _dc_replace
 
+from repro.analysis.invariants import InvariantViolation
 from repro.facade import point_record, session
 from repro.metrics.hub import MetricsHub
 from repro.metrics.statistics import recovery_time
@@ -46,19 +52,23 @@ class JobCancelled(Exception):
     """Raised inside a worker when the job's cancel event is set."""
 
 
-class FlowConservationError(Exception):
+class FlowConservationError(InvariantViolation):
     """A measurement window lost or invented packets.
 
     ``report`` is the failing
-    :meth:`repro.metrics.hub.MetricsHub.verify` dict.
+    :meth:`repro.metrics.hub.MetricsHub.verify` dict.  Subclasses
+    :class:`~repro.analysis.invariants.InvariantViolation` so one
+    ``except`` clause covers the whole verification gate while the
+    flow-specific message format stays intact.
     """
 
-    def __init__(self, report: dict) -> None:
-        self.report = report
-        super().__init__(
-            "flow conservation violated: injected={injected} delivered="
-            "{delivered} in_flight={in_flight} (expected {expected_in_flight}"
-            ")".format(**report))
+    def __init__(self, report: dict, message: str | None = None) -> None:
+        if message is None:
+            message = (
+                "flow conservation violated: injected={injected} delivered="
+                "{delivered} in_flight={in_flight} (expected "
+                "{expected_in_flight})".format(**report))
+        super().__init__(report, message)
 
 
 def stream_meta(point: RunPoint) -> dict:
@@ -100,11 +110,24 @@ def _chunked_warmup(s, cycles: int, bucket: int, cancelled) -> None:
 
 
 def _check_conservation(report: dict | None) -> None:
-    if report is not None and not report["ok"]:
-        raise FlowConservationError(report)
+    """Raise on a failed verify report, keeping the error type specific.
+
+    Flow-conservation failures keep their dedicated
+    :class:`FlowConservationError` (and its message format, pinned by
+    the contract tests); a report that failed *only* on wider
+    invariants (Little's law, bounds, occupancy) raises the base
+    :class:`InvariantViolation` naming the failed checks.
+    """
+    if report is None or report["ok"]:
+        return
+    failed = [c for c in report.get("checks", ()) if not c.get("ok", True)]
+    if failed and all(c.get("check") != "flow_conservation" for c in failed):
+        raise InvariantViolation(report)
+    raise FlowConservationError(report)
 
 
-def _steady_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
+def _steady_streamed(point: RunPoint, emit, bucket: int, cancelled,
+                     full_verify: bool) -> dict:
     """Mirror of :func:`repro.facade.run_point`, streaming the window."""
     s = session(point.config, pattern=point.pattern, load=point.load)
     if point.steady:
@@ -114,7 +137,7 @@ def _steady_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
         _chunked_warmup(s, point.warmup, bucket, cancelled)
     sr = s.measure_series(point.measure, bucket=bucket,
                           emit=_guard(emit, cancelled),
-                          meta=stream_meta(point))
+                          meta=stream_meta(point), full_verify=full_verify)
     _check_conservation(sr.verify)
     rec = point_record(sr.result, point.config, pattern=point.pattern,
                        load=point.load)
@@ -124,7 +147,8 @@ def _steady_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
     return rec
 
 
-def _transient_streamed(point: RunPoint, emit, cancelled) -> dict:
+def _transient_streamed(point: RunPoint, emit, cancelled,
+                        full_verify: bool) -> dict:
     """Mirror of :func:`repro.facade.run_transient`, streaming the window.
 
     The bucket is the *point's* (default 250, exactly as the run-plan
@@ -143,7 +167,7 @@ def _transient_streamed(point: RunPoint, emit, cancelled) -> dict:
     BurstTraffic(burst_pattern, point.packets_per_node).inject(sim, sim.now)
     sr = s.measure_series(point.measure, bucket=bucket, latencies=True,
                           emit=_guard(emit, cancelled),
-                          meta=stream_meta(point))
+                          meta=stream_meta(point), full_verify=full_verify)
     _check_conservation(sr.verify)
     recovery = recovery_time(sr.series["throughput"], baseline,
                              bucket=bucket, rel_tolerance=0.15, hold=3)
@@ -164,7 +188,8 @@ def _transient_streamed(point: RunPoint, emit, cancelled) -> dict:
     return rec
 
 
-def _drain_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
+def _drain_streamed(point: RunPoint, emit, bucket: int, cancelled,
+                    full_verify: bool) -> dict:
     """Mirror of :func:`repro.facade.run_drain`, rows emitted on completion.
 
     A drain run has no end cycle known up front (the meta row needs
@@ -181,7 +206,7 @@ def _drain_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
     hub = MetricsHub(s.sim, bucket=bucket, latencies=True)
     try:
         result = s.drain(point.max_cycles or 1_000_000)
-        _check_conservation(hub.verify())
+        _check_conservation(hub.verify(full=full_verify))
         for row in hub.records(s.now, stream_meta(point)):
             emit(row)
     finally:
@@ -191,7 +216,7 @@ def _drain_streamed(point: RunPoint, emit, bucket: int, cancelled) -> dict:
 
 
 def execute_point_streamed(point: RunPoint, emit, *, bucket: int = 250,
-                           cancelled=None) -> dict:
+                           cancelled=None, verify: str = "flow") -> dict:
     """One point's raw record, streaming metrics rows through ``emit``.
 
     The serve-side twin of :func:`repro.runplan.runner.execute_point`:
@@ -199,23 +224,31 @@ def execute_point_streamed(point: RunPoint, emit, *, bucket: int = 250,
     meta/bucket/summary row and a cooperative ``cancelled``
     (``threading.Event``) checked at bucket boundaries.  ``bucket`` is
     the stream resolution for kinds where it does not shape the record
-    (steady, drain); a point's own ``bucket`` always wins.
+    (steady, drain); a point's own ``bucket`` always wins.  ``verify``
+    is ``"flow"`` (conservation only, the default) or ``"full"`` (the
+    whole live invariant set); either way the record bytes are
+    unchanged — verification only decides whether the point fails.
     """
+    full = verify == "full"
     if point.kind == "drain":
-        return _drain_streamed(point, emit, point.bucket or bucket, cancelled)
+        return _drain_streamed(point, emit, point.bucket or bucket,
+                               cancelled, full)
     if point.kind == "transient":
-        return _transient_streamed(point, emit, cancelled)
-    return _steady_streamed(point, emit, point.bucket or bucket, cancelled)
+        return _transient_streamed(point, emit, cancelled, full)
+    return _steady_streamed(point, emit, point.bucket or bucket,
+                            cancelled, full)
 
 
 def run_submission(submission, *, cache=None, default_bucket: int = 250,
-                   cancelled=None, emit=None, max_retries: int = 0) -> dict:
+                   cancelled=None, emit=None, max_retries: int = 0,
+                   verify: str = "flow") -> dict:
     """Execute a whole submission synchronously; the worker-thread entry.
 
     Points run through the same :class:`~repro.runplan.scheduler`
     contract as offline plans — a :class:`SerialScheduler` with
-    :class:`JobCancelled` and :class:`FlowConservationError` marked
-    fatal, so cancellation and the conservation gate still abort the
+    :class:`JobCancelled` and :class:`InvariantViolation` (which covers
+    :class:`FlowConservationError`) marked fatal, so cancellation and
+    the verification gate still abort the
     job instantly while any *other* per-point failure is retried up to
     ``max_retries`` times and then quarantined: the job completes with
     the surviving records plus a ``point_errors`` list instead of
@@ -230,7 +263,9 @@ def run_submission(submission, *, cache=None, default_bucket: int = 250,
     payload reports how many points actually ran (``executed_points``)
     versus replayed (``cached_points``).  When the submission opted in
     (``progress``), one ``{"event": "point", ...}`` row per completed
-    point is interleaved with the metrics rows.
+    point is interleaved with the metrics rows.  ``verify`` passes
+    through to :func:`execute_point_streamed` for every computed point;
+    cache hits replay without re-verification.
     """
     if emit is None:
         def emit(row):
@@ -268,13 +303,13 @@ def run_submission(submission, *, cache=None, default_bucket: int = 250,
     if pending:
         scheduler = SerialScheduler(
             max_retries=max_retries,
-            fatal=(JobCancelled, FlowConservationError))
+            fatal=(JobCancelled, InvariantViolation))
 
         def work(item):
             _check(cancelled)
             _, point = item
             return execute_point_streamed(point, emit, bucket=default_bucket,
-                                          cancelled=cancelled)
+                                          cancelled=cancelled, verify=verify)
 
         for j, result in scheduler.run(work, pending):
             i, point = pending[j]

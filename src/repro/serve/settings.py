@@ -35,6 +35,11 @@ class ServeSettings:
     quarantined into the job result's ``point_errors`` list (the
     scheduler's ``max_retries``; cancellation and the flow-conservation
     gate are never retried).
+    ``verify`` — per-point verification level: ``"flow"`` (the default,
+    flow conservation only) or ``"full"`` (the whole live
+    physical-invariant set from :mod:`repro.analysis.invariants`).
+    Record bytes are identical either way, so a full-verify service
+    shares its cache with flow-only ones.
     """
 
     cache_dir: str | None = None
@@ -46,6 +51,7 @@ class ServeSettings:
     max_points: int = 512
     keep_jobs: int = 256
     point_retries: int = 1
+    verify: str = "flow"
 
     def __post_init__(self) -> None:
         if not 1 <= self.workers <= 64:
@@ -94,4 +100,10 @@ class ServeSettings:
                 f"{self.point_retries}): it multiplies the worst-case work "
                 "per failing point — 0 disables retries, a job_timeout "
                 "still bounds the total"
+            )
+        if self.verify not in ("flow", "full"):
+            raise ValueError(
+                f"verify must be 'flow' or 'full' (got {self.verify!r}): "
+                "'flow' gates each window on flow conservation only, "
+                "'full' enforces the whole physical-invariant set"
             )

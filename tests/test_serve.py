@@ -124,7 +124,7 @@ class FakeRunner:
         self.started = threading.Event()
 
     def __call__(self, submission, *, cache=None, default_bucket=250,
-                 cancelled=None, emit=None, max_retries=0):
+                 cancelled=None, emit=None, max_retries=0, verify="flow"):
         self.calls += 1
         self.started.set()
         if cancelled is not None and cancelled.is_set():

@@ -1,0 +1,121 @@
+"""Metamorphic properties of the statistics helpers.
+
+Instead of pinning numeric outputs, these tests assert relations that
+must hold under controlled input transformations — permutation
+invariance of :func:`mean_ci`, CI shrinkage with more replicas, and
+shift monotonicity of :func:`recovery_time` — the properties the
+invariant verifier's ``ci_sanity`` and ``transient_window`` checks
+lean on.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.metrics.statistics import mean_ci, recovery_time
+
+
+# ----------------------------------------------------------------- mean_ci
+
+@pytest.mark.parametrize("seed", range(5))
+def test_mean_ci_is_permutation_invariant(seed):
+    rng = random.Random(seed)
+    values = [rng.uniform(0.0, 10.0) for _ in range(rng.randrange(2, 30))]
+    mean, half = mean_ci(values)
+    for _ in range(5):
+        shuffled = values[:]
+        rng.shuffle(shuffled)
+        m2, h2 = mean_ci(shuffled)
+        assert m2 == pytest.approx(mean, rel=1e-12)
+        assert h2 == pytest.approx(half, rel=1e-9)
+
+
+def test_mean_ci_shift_and_scale_equivariance():
+    values = [1.0, 2.0, 4.0, 8.0, 9.5]
+    mean, half = mean_ci(values)
+    m_shift, h_shift = mean_ci([v + 100.0 for v in values])
+    assert m_shift == pytest.approx(mean + 100.0)
+    assert h_shift == pytest.approx(half)  # CI width ignores location
+    m_scale, h_scale = mean_ci([3.0 * v for v in values])
+    assert m_scale == pytest.approx(3.0 * mean)
+    assert h_scale == pytest.approx(3.0 * half)
+
+
+def test_mean_ci_width_shrinks_with_more_replicas():
+    # same per-seed spread, more seeds: the half-width must shrink
+    rng = random.Random(42)
+    base = [rng.gauss(5.0, 1.0) for _ in range(64)]
+    widths = []
+    for n in (4, 8, 16, 64):
+        # block means keep the variance comparable while n grows
+        _, half = mean_ci(base[:n])
+        widths.append(half)
+    assert widths[0] > widths[-1]
+    assert all(w >= 0 for w in widths)
+
+
+def test_mean_ci_degenerate_cases():
+    mean, half = mean_ci([7.25])
+    assert (mean, half) == (7.25, 0.0)  # one replica: no interval
+    mean, half = mean_ci([3.0, 3.0, 3.0])
+    assert mean == 3.0 and half == 0.0  # zero variance: zero width
+    mean, half = mean_ci([1.0, float("nan")])
+    assert math.isnan(mean) and math.isnan(half)  # NaN poisons, never hides
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+# ----------------------------------------------------------- recovery_time
+
+def _ramp(baseline, *, high=0.9, settle_at=6, length=16):
+    """A burst-response curve: elevated, then settled at the baseline."""
+    return [high if i < settle_at else baseline for i in range(length)]
+
+
+def test_recovery_time_is_monotone_under_series_shift():
+    """Delaying the settle point can only delay (never hasten) recovery."""
+    baseline = 0.3
+    previous = None
+    for settle_at in (2, 5, 8, 11):
+        series = _ramp(baseline, settle_at=settle_at)
+        t = recovery_time(series, baseline, bucket=100, hold=3)
+        assert t is not None
+        if previous is not None:
+            assert t >= previous
+        previous = t
+
+
+def test_recovery_time_shifts_with_prepended_congestion():
+    baseline = 0.25
+    series = _ramp(baseline, settle_at=4, length=12)
+    t = recovery_time(series, baseline, bucket=50, hold=2)
+    shifted = [0.9, 0.9] + series
+    t_shifted = recovery_time(shifted, baseline, bucket=50, hold=2)
+    assert t is not None and t_shifted is not None
+    assert t_shifted == t + 2 * 50  # two extra congested buckets
+
+
+def test_recovery_time_bucket_scaling():
+    baseline = 0.3
+    series = _ramp(baseline, settle_at=5)
+    t_small = recovery_time(series, baseline, bucket=100, hold=3)
+    t_large = recovery_time(series, baseline, bucket=300, hold=3)
+    assert t_small is not None and t_large == 3 * t_small
+
+
+def test_recovery_time_never_recovers_on_elevated_series():
+    assert recovery_time([0.9] * 10, 0.3, bucket=100, hold=3) is None
+
+
+def test_recovery_time_tolerance_monotonicity():
+    """A wider tolerance band can only make recovery earlier, not later."""
+    baseline = 0.4
+    series = [0.9, 0.8, 0.6, 0.5, 0.45, 0.42, 0.41, 0.40, 0.40, 0.40]
+    times = []
+    for rel in (0.02, 0.1, 0.3, 0.6):
+        times.append(recovery_time(series, baseline, bucket=100,
+                                   rel_tolerance=rel, hold=2))
+    known = [t for t in times if t is not None]
+    assert known == sorted(known, reverse=True)
+    assert times[-1] is not None
